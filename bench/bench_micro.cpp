@@ -1,0 +1,72 @@
+// M1 — micro-benchmarks (google-benchmark): simulator and coding throughput.
+#include <benchmark/benchmark.h>
+
+#include "coding/gf2.h"
+#include "common/rng.h"
+#include "core/gst_centralized.h"
+#include "graph/generators.h"
+#include "radio/network.h"
+
+using namespace rn;
+
+static void BM_NetworkStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
+  radio::network net(g, {.collision_detection = true});
+  rng r(1);
+  std::vector<radio::network::tx> txs;
+  for (auto _ : state) {
+    txs.clear();
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(3))
+        txs.push_back({v, radio::packet::make_beacon(v)});
+    net.step(txs, [](const radio::reception&) {});
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NetworkStep)->Arg(64)->Arg(512)->Arg(4096);
+
+static void BM_Gf2DecoderInsert(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  rng r(2);
+  coding::gf2_decoder src(k, 32);
+  for (std::size_t i = 0; i < k; ++i)
+    src.insert(coding::gf2_vector::unit(k, i),
+               std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    coding::gf2_decoder sink(k, 32);
+    state.ResumeTiming();
+    while (!sink.complete()) {
+      auto row = src.random_combination(r);
+      sink.insert(std::move(row.coeffs), std::move(row.payload));
+    }
+    benchmark::DoNotOptimize(sink.rank());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_Gf2DecoderInsert)->Arg(8)->Arg(64)->Arg(256);
+
+static void BM_CentralizedGst(benchmark::State& state) {
+  graph::layered_options lo;
+  lo.depth = static_cast<std::size_t>(state.range(0));
+  lo.width = 8;
+  lo.edge_prob = 0.4;
+  lo.seed = 3;
+  const auto g = graph::random_layered(lo);
+  for (auto _ : state) {
+    auto t = core::build_gst_centralized(g, 0);
+    benchmark::DoNotOptimize(t.max_rank());
+  }
+}
+BENCHMARK(BM_CentralizedGst)->Arg(8)->Arg(32)->Arg(128);
+
+static void BM_RngPow2(benchmark::State& state) {
+  rng r(4);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += r.with_probability_pow2(5) ? 1 : 0;
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngPow2);
+
+BENCHMARK_MAIN();

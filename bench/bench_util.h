@@ -1,0 +1,30 @@
+// Shared helpers for the experiment harnesses (E1..E8).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace rn::bench {
+
+inline void print_header(const char* id, const char* claim,
+                         const char* profile) {
+  std::cout << "==============================================================\n"
+            << id << " — " << claim << "\n"
+            << "constants profile: " << profile << "\n"
+            << "==============================================================\n";
+}
+
+/// Mean of `fn(seed)` over seeds 1..reps.
+inline double mean_over_seeds(int reps,
+                              const std::function<double(std::uint64_t)>& fn) {
+  sample_stats s;
+  for (int i = 1; i <= reps; ++i) s.add(fn(static_cast<std::uint64_t>(i)));
+  return s.mean();
+}
+
+}  // namespace rn::bench

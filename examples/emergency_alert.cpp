@@ -1,0 +1,64 @@
+// City-wide emergency alert over an ad-hoc mesh.
+//
+// City blocks are dense radio cells (cliques) chained along a corridor —
+// a worst case for contention (everyone in a block hears everyone) and for
+// diameter (the corridor is long). Shows how collision detection closes the
+// gap between unknown- and known-topology dissemination, the message of
+// Theorems 1.1/1.3.
+//
+//   ./examples/emergency_alert
+#include <cstdio>
+
+#include "core/api.h"
+#include "core/single_broadcast.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace rn;
+
+  const auto g = graph::clique_chain(/*cliques=*/12, /*clique_size=*/8);
+  std::printf("city mesh: %zu radios in 12 blocks, diameter %d\n\n",
+              g.node_count(), graph::diameter(g));
+
+  core::run_options opt;
+  opt.seed = 9;
+  opt.prm = core::params::fast();
+
+  std::printf("dissemination (alert from node 0):\n");
+  for (const auto alg :
+       {core::single_algorithm::decay, core::single_algorithm::tuned_decay,
+        core::single_algorithm::gst_known}) {
+    const auto res = core::run_single(g, 0, alg, opt);
+    std::printf("  %-12s rounds=%lld  collisions observed=%lld\n",
+                core::to_string(alg).c_str(),
+                static_cast<long long>(res.rounds_to_complete),
+                static_cast<long long>(res.collisions_observed));
+  }
+
+  // With collision detection, the unknown-topology pipeline prepares the
+  // same GST infrastructure distributedly; once built, every further alert
+  // reuses it at known-topology speed.
+  core::single_broadcast_options so;
+  so.seed = 9;
+  so.prm = core::params::fast();
+  const auto setup = core::prepare_unknown_topology(g, 0, so);
+  std::printf(
+      "\none-time distributed setup with CD (Theorem 1.1 preprocessing):\n"
+      "  wave=%lld rounds, construction=%lld, labeling=%lld  "
+      "(rings=%zu, fallbacks=%d)\n",
+      static_cast<long long>(setup.wave_rounds),
+      static_cast<long long>(setup.construction_rounds),
+      static_cast<long long>(setup.labeling_rounds), setup.rings.rings.size(),
+      setup.fallback_finalizations + setup.fallback_adoptions);
+
+  const auto res =
+      core::run_single(g, 0, core::single_algorithm::gst_unknown_cd, opt);
+  std::printf("  full Theorem 1.1 run: completed=%s, total rounds=%lld\n",
+              res.completed ? "yes" : "NO",
+              static_cast<long long>(res.rounds_executed));
+  std::printf(
+      "\ntakeaway: collision detection replaces topology knowledge — the\n"
+      "per-alert cost matches the known-topology schedule after setup.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: broadcast one message through a multi-hop radio network with
+// the paper's Theorem 1.1 algorithm (unknown topology + collision detection),
+// and compare against the classic Decay baseline.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/api.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace rn;
+
+  // A 12-hop-deep network of 61 radios; node 0 is the source.
+  graph::layered_options lo;
+  lo.depth = 12;
+  lo.width = 5;
+  lo.edge_prob = 0.4;
+  lo.seed = 7;
+  const auto g = graph::random_layered(lo);
+  std::printf("network: n=%zu, m=%zu edges, source eccentricity=%zu\n\n",
+              g.node_count(), g.edge_count(), lo.depth);
+
+  core::run_options opt;
+  opt.seed = 42;
+  opt.prm = core::params::fast();  // simulation-friendly Theta constants
+
+  for (const auto alg : {core::single_algorithm::decay,
+                         core::single_algorithm::gst_known,
+                         core::single_algorithm::gst_unknown_cd}) {
+    const auto res = core::run_single(g, 0, alg, opt);
+    std::printf("%-15s  completed=%s  rounds=%lld  transmissions=%lld\n",
+                core::to_string(alg).c_str(), res.completed ? "yes" : "NO",
+                static_cast<long long>(res.rounds_to_complete),
+                static_cast<long long>(res.transmissions));
+    for (const auto& [phase, rounds] : res.phase_rounds)
+      std::printf("    phase %-16s %10lld rounds\n", phase,
+                  static_cast<long long>(rounds));
+  }
+  std::printf(
+      "\nNote: gst-unknown-cd pays a one-time distributed setup "
+      "(BFS wave + GST construction + labeling); after that, dissemination\n"
+      "needs only ~2 rounds per hop instead of Decay's ~log n per hop.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Firmware update over a wireless sensor field.
+//
+// A base station (node 0) must push a k-chunk firmware image to every sensor
+// in a unit-disk network. Compares the paper's network-coded pipeline
+// (Theorem 1.2/1.3 engines) against sequential per-chunk Decay broadcasts
+// and uncoded store-and-forward routing.
+//
+//   ./examples/sensor_grid
+#include <cstdio>
+
+#include "core/api.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace rn;
+
+  const auto g = graph::random_unit_disk(120, 0.17, 11);
+  const auto depth = graph::bfs(g, 0).max_level;
+  std::printf("sensor field: n=%zu, m=%zu edges, base-station depth=%d\n",
+              g.node_count(), g.edge_count(), depth);
+
+  const std::size_t k = 16;  // firmware chunks
+  std::printf("firmware: %zu chunks of 32 bytes\n\n", k);
+
+  core::run_options opt;
+  opt.seed = 3;
+  opt.prm = core::params::fast();
+  opt.payload_size = 32;
+
+  std::printf("%-18s %12s %14s %14s\n", "strategy", "rounds", "transmissions",
+              "all decoded");
+  for (const auto alg : {core::multi_algorithm::sequential_decay,
+                         core::multi_algorithm::routing,
+                         core::multi_algorithm::rlnc_known,
+                         core::multi_algorithm::rlnc_unknown_cd}) {
+    const auto res = core::run_multi(g, 0, k, alg, opt);
+    std::printf("%-18s %12lld %14lld %14s\n", core::to_string(alg).c_str(),
+                static_cast<long long>(res.rounds_to_complete),
+                static_cast<long long>(res.transmissions),
+                res.completed ? "yes" : "NO");
+  }
+  std::printf(
+      "\nrlnc-known codes all %zu chunks together over the GST schedule\n"
+      "(Theorem 1.2); rlnc-unknown-cd additionally builds everything\n"
+      "distributedly and pipelines generations through rings (Theorem 1.3).\n",
+      k);
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "baseline/decay.h"
+
+#include <memory>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "radio/network.h"
+
+namespace rn::baseline {
+
+namespace {
+
+std::shared_ptr<const radio::packet_body> make_message_body() {
+  auto body = std::make_shared<radio::packet_body>();
+  body->data = {0xbc, 0xa5, 0x70};  // fixed marker payload
+  return body;
+}
+
+radio::broadcast_result finish(const radio::network& net,
+                               const radio::completion_tracker& tracker) {
+  radio::broadcast_result res;
+  res.completed = tracker.all_done();
+  res.rounds_to_complete = tracker.first_complete_round();
+  res.rounds_executed = net.stats().rounds;
+  res.transmissions = net.stats().transmissions;
+  res.deliveries = net.stats().deliveries;
+  res.collisions_observed = net.stats().collisions_observed;
+  return res;
+}
+
+}  // namespace
+
+radio::broadcast_result run_decay_broadcast(const graph::graph& g,
+                                            node_id source,
+                                            const decay_options& opt) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+  const std::size_t n_hat = opt.n_hat == 0 ? n : opt.n_hat;
+  const int L = log_range(n_hat) + 1;
+  const round_t max_rounds =
+      opt.max_rounds > 0
+          ? opt.max_rounds
+          : 64 * (static_cast<round_t>(g.node_count()) * L + sq(L));
+
+  radio::network net(g, {.collision_detection = opt.collision_detection});
+  radio::completion_tracker tracker(n);
+  std::vector<char> informed(n, 0);
+  std::vector<node_id> informed_list;
+  informed[source] = 1;
+  informed_list.push_back(source);
+  tracker.mark(source);
+
+  std::vector<rng> node_rng;
+  node_rng.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    node_rng.push_back(rng::for_stream(opt.seed, v));
+
+  const auto body = make_message_body();
+  std::vector<radio::network::tx> txs;
+  for (round_t t = 0; t < max_rounds; ++t) {
+    txs.clear();
+    // Round position within the phase: i in [1, L], transmit w.p. 2^-i.
+    const int i = static_cast<int>(t % L) + 1;
+    for (node_id v : informed_list) {
+      if (node_rng[v].with_probability_pow2(i))
+        txs.push_back({v, radio::packet::make_data(source, body)});
+    }
+    net.step(txs, [&](const radio::reception& rx) {
+      if (rx.what == radio::observation::message &&
+          rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
+        informed[rx.listener] = 1;
+        informed_list.push_back(rx.listener);
+        tracker.mark(rx.listener);
+      }
+    });
+    tracker.observe_round(net.stats().rounds);
+    if (opt.stop_when_complete && tracker.all_done()) break;
+  }
+  return finish(net, tracker);
+}
+
+radio::broadcast_result run_leveled_decay_broadcast(
+    const graph::graph& g, node_id source, const std::vector<level_t>& levels,
+    const leveled_decay_options& opt) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+  RN_REQUIRE(levels.size() == n, "level vector size mismatch");
+  const std::size_t n_hat = opt.n_hat == 0 ? n : opt.n_hat;
+  const int L = log_range(n_hat) + 1;
+  level_t max_level = 0;
+  for (level_t l : levels) max_level = std::max(max_level, l);
+  const round_t max_rounds =
+      opt.max_rounds > 0
+          ? opt.max_rounds
+          : 64 * (3 * static_cast<round_t>(max_level) * L + 3 * sq(L));
+
+  // MMV mode exercises noise, i.e. collisions; CD does not change behavior of
+  // this protocol, so run without CD as in the paper's baseline setting.
+  radio::network net(g, {.collision_detection = false});
+  radio::completion_tracker tracker(n);
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  tracker.mark(source);
+
+  std::vector<rng> node_rng;
+  node_rng.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    node_rng.push_back(rng::for_stream(opt.seed, v));
+
+  const auto body = make_message_body();
+  std::vector<radio::network::tx> txs;
+  for (round_t t = 0; t < max_rounds; ++t) {
+    txs.clear();
+    // Lemma 3.2 schedule (1-based round index r): a node at level lv is
+    // prompted iff r == lv + 1 (mod 3), with probability
+    // 2^-((r - lv - 1)/3 mod L).
+    const round_t r = t + 1;
+    for (node_id v = 0; v < n; ++v) {
+      const level_t lv = levels[v];
+      if (lv == no_level) continue;
+      if (r < lv + 1) continue;  // schedule reaches level lv at round lv+1
+      if ((r - lv - 1) % 3 != 0) continue;
+      const int e = static_cast<int>(((r - lv - 1) / 3) % L);
+      if (!node_rng[v].with_probability_pow2(e)) continue;
+      if (informed[v]) {
+        txs.push_back({v, radio::packet::make_data(source, body)});
+      } else if (opt.mmv_noise) {
+        txs.push_back({v, radio::packet::make_noise()});
+      }
+    }
+    net.step(txs, [&](const radio::reception& rx) {
+      if (rx.what == radio::observation::message &&
+          rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
+        informed[rx.listener] = 1;
+        tracker.mark(rx.listener);
+      }
+    });
+    tracker.observe_round(net.stats().rounds);
+    if (opt.stop_when_complete && tracker.all_done()) break;
+  }
+  return finish(net, tracker);
+}
+
+radio::broadcast_result run_tuned_decay_broadcast(
+    const graph::graph& g, node_id source, const tuned_decay_options& opt) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+  const std::size_t n_hat = opt.n_hat == 0 ? n : opt.n_hat;
+  const level_t d_hat =
+      opt.d_hat > 0 ? opt.d_hat : graph::bfs(g, source).max_level;
+  const int L_full = log_range(n_hat) + 1;
+  // Short phases target per-hop contention ~ n/D (layer width on the layered
+  // workloads); full phases cover the high-degree tail.
+  const int L_short = std::max(
+      1, log_range(std::max<std::size_t>(
+             2, n_hat / std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                     std::max(d_hat, 1))))) +
+             1);
+  const round_t max_rounds =
+      opt.max_rounds > 0 ? opt.max_rounds
+                         : 64 * (static_cast<round_t>(std::max(d_hat, 1)) *
+                                     (3 * L_short + L_full) +
+                                 8 * sq(L_full));
+
+  radio::network net(g, {.collision_detection = false});
+  radio::completion_tracker tracker(n);
+  std::vector<char> informed(n, 0);
+  std::vector<node_id> informed_list;
+  informed[source] = 1;
+  informed_list.push_back(source);
+  tracker.mark(source);
+
+  std::vector<rng> node_rng;
+  node_rng.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    node_rng.push_back(rng::for_stream(opt.seed, v));
+
+  // Super-phase = 3 short phases followed by 1 full phase.
+  const round_t super = 3 * L_short + L_full;
+  const auto body = make_message_body();
+  std::vector<radio::network::tx> txs;
+  for (round_t t = 0; t < max_rounds; ++t) {
+    const round_t pos = t % super;
+    int i;  // decay exponent for this round
+    if (pos < 3 * L_short)
+      i = static_cast<int>(pos % L_short) + 1;
+    else
+      i = static_cast<int>(pos - 3 * L_short) + 1;
+    txs.clear();
+    for (node_id v : informed_list) {
+      if (node_rng[v].with_probability_pow2(i))
+        txs.push_back({v, radio::packet::make_data(source, body)});
+    }
+    net.step(txs, [&](const radio::reception& rx) {
+      if (rx.what == radio::observation::message &&
+          rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
+        informed[rx.listener] = 1;
+        informed_list.push_back(rx.listener);
+        tracker.mark(rx.listener);
+      }
+    });
+    tracker.observe_round(net.stats().rounds);
+    if (opt.stop_when_complete && tracker.all_done()) break;
+  }
+  return finish(net, tracker);
+}
+
+}  // namespace rn::baseline

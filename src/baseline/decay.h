@@ -1,0 +1,63 @@
+// The Decay protocol family (Bar-Yehuda, Goldreich, Itai 1992) — the paper's
+// primary baseline and also a building block of its constructions.
+//
+// Three variants:
+//  * classic   — BGI Decay: every informed node runs phases of L rounds, and
+//                transmits with probability 2^-i in round i of each phase.
+//                O(D log n + log^2 n) w.h.p.
+//  * leveled   — the paper's Lemma 3.2 schedule, keyed to BFS levels mod 3;
+//                supports the MMV framework (uninformed prompted nodes send
+//                noise). Same asymptotics; provably MMV via backwards analysis.
+//  * tuned     — Czumaj-Rytter / Kowalski-Pelc stand-in [DEV-4]: Decay with
+//                short phases of length ~log(n/D) interleaved with occasional
+//                full-length phases; realizes O(D log(n/D) + log^2 n) on
+//                layered workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "radio/result.h"
+
+namespace rn::baseline {
+
+struct decay_options {
+  std::size_t n_hat = 0;       ///< known upper bound on n; 0 = use n
+  round_t max_rounds = 0;      ///< 0 = generous default from n_hat & graph
+  std::uint64_t seed = 1;
+  bool collision_detection = false;  ///< Decay does not use CD; modeled anyway
+  bool stop_when_complete = true;    ///< stop the simulation at completion
+};
+
+/// Classic BGI Decay single-message broadcast from `source`.
+[[nodiscard]] radio::broadcast_result run_decay_broadcast(
+    const graph::graph& g, node_id source, const decay_options& opt);
+
+struct leveled_decay_options {
+  std::size_t n_hat = 0;
+  round_t max_rounds = 0;
+  std::uint64_t seed = 1;
+  bool mmv_noise = false;  ///< Definition 3.1: prompted uninformed nodes jam
+  bool stop_when_complete = true;
+};
+
+/// Lemma 3.2 leveled Decay. `levels` must hold the BFS level of every node
+/// (obtained e.g. from the collision-wave layering).
+[[nodiscard]] radio::broadcast_result run_leveled_decay_broadcast(
+    const graph::graph& g, node_id source, const std::vector<level_t>& levels,
+    const leveled_decay_options& opt);
+
+struct tuned_decay_options {
+  std::size_t n_hat = 0;
+  level_t d_hat = 0;  ///< known diameter bound; 0 = eccentricity of source
+  round_t max_rounds = 0;
+  std::uint64_t seed = 1;
+  bool stop_when_complete = true;
+};
+
+/// Czumaj-Rytter-style tuned Decay [DEV-4].
+[[nodiscard]] radio::broadcast_result run_tuned_decay_broadcast(
+    const graph::graph& g, node_id source, const tuned_decay_options& opt);
+
+}  // namespace rn::baseline

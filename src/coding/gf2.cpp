@@ -1,0 +1,163 @@
+#include "coding/gf2.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace rn::coding {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+gf2_vector::gf2_vector(std::size_t bits)
+    : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+gf2_vector gf2_vector::unit(std::size_t bits, std::size_t i) {
+  RN_REQUIRE(i < bits, "unit vector index out of range");
+  gf2_vector v(bits);
+  v.set(i, true);
+  return v;
+}
+
+gf2_vector gf2_vector::random(std::size_t bits, rn::rng& r) {
+  gf2_vector v(bits);
+  for (auto& w : v.words_) w = r();
+  // Clear bits beyond the logical size so equality/is_zero stay exact.
+  const std::size_t excess = v.words_.size() * kWordBits - bits;
+  if (excess > 0 && !v.words_.empty()) v.words_.back() &= (~0ULL >> excess);
+  return v;
+}
+
+bool gf2_vector::get(std::size_t i) const {
+  RN_REQUIRE(i < bits_, "bit index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void gf2_vector::set(std::size_t i, bool value) {
+  RN_REQUIRE(i < bits_, "bit index out of range");
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+void gf2_vector::add(const gf2_vector& other) {
+  RN_REQUIRE(bits_ == other.bits_, "gf2 vector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+bool gf2_vector::dot(const gf2_vector& other) const {
+  RN_REQUIRE(bits_ == other.bits_, "gf2 vector size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    acc ^= words_[i] & other.words_[i];
+  return (std::popcount(acc) & 1) != 0;
+}
+
+bool gf2_vector::is_zero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+std::size_t gf2_vector::leading_bit() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0)
+      return i * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[i]));
+  }
+  return bits_;
+}
+
+gf2_decoder::gf2_decoder(std::size_t dimension, std::size_t payload_size)
+    : dimension_(dimension), payload_size_(payload_size) {
+  RN_REQUIRE(dimension >= 1, "decoder dimension must be >= 1");
+}
+
+void gf2_decoder::reduce(gf2_vector& c, std::vector<std::uint8_t>& p) const {
+  for (const auto& row : rows_) {
+    if (c.get(row.pivot)) {
+      c.add(row.coeffs);
+      xor_bytes(p, row.payload);
+    }
+  }
+}
+
+bool gf2_decoder::insert(gf2_vector coeffs, std::vector<std::uint8_t> payload) {
+  RN_REQUIRE(coeffs.size() == dimension_, "coefficient width mismatch");
+  RN_REQUIRE(payload.size() == payload_size_, "payload size mismatch");
+  if (complete()) return false;
+  reduce(coeffs, payload);
+  if (coeffs.is_zero()) return false;
+  const std::size_t pivot = coeffs.leading_bit();
+  // Eliminate the new pivot from existing rows to keep the basis reduced.
+  for (auto& row : rows_) {
+    if (row.coeffs.get(pivot)) {
+      row.coeffs.add(coeffs);
+      xor_bytes(row.payload, payload);
+    }
+  }
+  row r{std::move(coeffs), std::move(payload), pivot};
+  const auto pos = std::lower_bound(
+      rows_.begin(), rows_.end(), pivot,
+      [](const row& a, std::size_t piv) { return a.pivot < piv; });
+  rows_.insert(pos, std::move(r));
+  pivots_used_ += 1;
+  return true;
+}
+
+bool gf2_decoder::in_span(const gf2_vector& coeffs) const {
+  RN_REQUIRE(coeffs.size() == dimension_, "coefficient width mismatch");
+  gf2_vector c = coeffs;
+  for (const auto& row : rows_)
+    if (c.get(row.pivot)) c.add(row.coeffs);
+  return c.is_zero();
+}
+
+bool gf2_decoder::infected_by(const gf2_vector& mu) const {
+  RN_REQUIRE(mu.size() == dimension_, "coefficient width mismatch");
+  for (const auto& row : rows_)
+    if (row.coeffs.dot(mu)) return true;
+  return false;
+}
+
+std::vector<std::uint8_t> gf2_decoder::decode(std::size_t i) const {
+  RN_REQUIRE(complete(), "decode requires full rank");
+  RN_REQUIRE(i < dimension_, "message index out of range");
+  // With a fully reduced basis of dimension d, rows are exactly the unit
+  // vectors; row with pivot i is e_i.
+  const auto& row = rows_[i];
+  RN_ASSERT(row.pivot == i);
+  RN_ASSERT(row.coeffs == gf2_vector::unit(dimension_, i));
+  return row.payload;
+}
+
+gf2_decoder::coded_row gf2_decoder::random_combination(rn::rng& r) const {
+  RN_REQUIRE(pivots_used_ > 0, "cannot re-encode from empty subspace");
+  // Random subset of basis rows; retry the (rare) empty draw so the packet is
+  // never the zero vector when the subspace is nontrivial.
+  for (;;) {
+    gf2_vector c(dimension_);
+    std::vector<std::uint8_t> p(payload_size_, 0);
+    bool any = false;
+    for (const auto& row : rows_) {
+      if (r.bernoulli(0.5)) {
+        c.add(row.coeffs);
+        xor_bytes(p, row.payload);
+        any = true;
+      }
+    }
+    if (any && !c.is_zero()) return {std::move(c), std::move(p)};
+    if (!any && rows_.empty()) return {std::move(c), std::move(p)};
+  }
+}
+
+void xor_bytes(std::vector<std::uint8_t>& a,
+               const std::vector<std::uint8_t>& b) {
+  RN_REQUIRE(a.size() == b.size(), "byte string size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+}  // namespace rn::coding

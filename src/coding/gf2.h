@@ -1,0 +1,99 @@
+// Dense linear algebra over GF(2): bit vectors and an online Gaussian
+// eliminator. This is the arithmetic substrate of random linear network
+// coding (paper section 3.3.1) and of the FEC inter-ring handoff (section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rn::coding {
+
+/// Fixed-length bit vector over GF(2); addition is XOR.
+class gf2_vector {
+ public:
+  gf2_vector() = default;
+  explicit gf2_vector(std::size_t bits);
+
+  /// The i-th unit vector of the given length.
+  [[nodiscard]] static gf2_vector unit(std::size_t bits, std::size_t i);
+
+  /// Uniformly random vector (each bit independent fair coin).
+  [[nodiscard]] static gf2_vector random(std::size_t bits, rn::rng& r);
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// this += other (XOR); sizes must match.
+  void add(const gf2_vector& other);
+
+  /// Inner product over GF(2).
+  [[nodiscard]] bool dot(const gf2_vector& other) const;
+
+  [[nodiscard]] bool is_zero() const;
+
+  /// Index of the lowest set bit, or size() if zero.
+  [[nodiscard]] std::size_t leading_bit() const;
+
+  [[nodiscard]] bool operator==(const gf2_vector& other) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Online Gaussian elimination: feed coefficient rows (each with an attached
+/// payload), query the span rank, and solve once full rank is reached.
+///
+/// Rows are kept in reduced form with distinct pivot positions, so insertion
+/// is O(rank * words) and decoding is a back-substitution sweep.
+class gf2_decoder {
+ public:
+  /// `dimension` = number of source messages; `payload_size` = bytes per row.
+  gf2_decoder(std::size_t dimension, std::size_t payload_size);
+
+  [[nodiscard]] std::size_t dimension() const { return dimension_; }
+  [[nodiscard]] std::size_t rank() const { return pivots_used_; }
+  [[nodiscard]] bool complete() const { return pivots_used_ == dimension_; }
+
+  /// Inserts a row; returns true iff it was innovative (increased the rank).
+  bool insert(gf2_vector coeffs, std::vector<std::uint8_t> payload);
+
+  /// True iff `coeffs` lies in the span of the received rows.
+  [[nodiscard]] bool in_span(const gf2_vector& coeffs) const;
+
+  /// Infection test (paper Definition 3.8): some received row is
+  /// non-orthogonal to mu.
+  [[nodiscard]] bool infected_by(const gf2_vector& mu) const;
+
+  /// Reconstructs message i; requires complete().
+  [[nodiscard]] std::vector<std::uint8_t> decode(std::size_t i) const;
+
+  /// A fresh random combination of the received rows (RLNC re-encoding):
+  /// returns nullopt-like empty rank 0 guard via require. Requires rank() > 0.
+  struct coded_row {
+    gf2_vector coeffs;
+    std::vector<std::uint8_t> payload;
+  };
+  [[nodiscard]] coded_row random_combination(rn::rng& r) const;
+
+ private:
+  struct row {
+    gf2_vector coeffs;
+    std::vector<std::uint8_t> payload;
+    std::size_t pivot = 0;
+  };
+  std::size_t dimension_;
+  std::size_t payload_size_;
+  std::size_t pivots_used_ = 0;
+  std::vector<row> rows_;  // sorted by pivot
+  void reduce(gf2_vector& c, std::vector<std::uint8_t>& p) const;
+};
+
+/// XOR byte strings in place: a ^= b (sizes must match).
+void xor_bytes(std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b);
+
+}  // namespace rn::coding

@@ -1,0 +1,39 @@
+// Small integer math helpers used throughout the protocol code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace rn {
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) {
+  RN_REQUIRE(x >= 1, "ceil_log2 requires x >= 1");
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) {
+  RN_REQUIRE(x >= 1, "floor_log2 requires x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+/// The paper's ceil(log2 n) rank/probability range, but never 0 (so that
+/// modulus arithmetic in schedules is well defined even for tiny n).
+[[nodiscard]] constexpr int log_range(std::uint64_t n) {
+  const int l = ceil_log2(n < 2 ? 2 : n);
+  return l < 1 ? 1 : l;
+}
+
+/// Integer ceil division for non-negative operands.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  RN_REQUIRE(b > 0 && a >= 0, "ceil_div domain");
+  return (a + b - 1) / b;
+}
+
+/// x^2, spelled out for readability in round-budget formulas.
+[[nodiscard]] constexpr std::int64_t sq(std::int64_t x) { return x * x; }
+
+}  // namespace rn

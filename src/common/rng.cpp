@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace rn {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+rng rng::for_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id through splitmix so nearby ids give unrelated states.
+  std::uint64_t x = seed ^ (0xd1342543de82ef95ULL * (stream + 1));
+  rng r;
+  for (auto& s : r.s_) s = splitmix64(x);
+  return r;
+}
+
+rng::result_type rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::uniform(std::uint64_t bound) {
+  RN_REQUIRE(bound > 0, "uniform bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+bool rng::with_probability_pow2(int e) {
+  RN_REQUIRE(e >= 0, "exponent must be non-negative");
+  if (e == 0) return true;
+  if (e >= 64) return false;
+  // True iff the low e bits are all zero: probability exactly 2^-e.
+  return ((*this)() & ((1ULL << e) - 1)) == 0;
+}
+
+}  // namespace rn

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** seeded via splitmix64. Every protocol node derives its own
+// stream from (run seed, node id) so simulations are reproducible and
+// insensitive to iteration order.
+#pragma once
+
+#include <cstdint>
+
+namespace rn {
+
+/// xoshiro256** engine; satisfies UniformRandomBitGenerator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// A stream that is statistically independent per (seed, stream) pair.
+  static rng for_stream(std::uint64_t seed, std::uint64_t stream);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// True with probability 2^-e for e >= 0 (exact, no floating point).
+  bool with_probability_pow2(int e);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rn

@@ -1,0 +1,60 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rn {
+
+void sample_stats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double sample_stats::mean() const {
+  RN_REQUIRE(!samples_.empty(), "mean of empty sample set");
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double sample_stats::stddev() const {
+  RN_REQUIRE(!samples_.empty(), "stddev of empty sample set");
+  if (samples_.size() == 1) return 0.0;
+  const double m = mean();
+  double s = 0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+void sample_stats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double sample_stats::min() const {
+  RN_REQUIRE(!samples_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double sample_stats::max() const {
+  RN_REQUIRE(!samples_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double sample_stats::percentile(double p) const {
+  RN_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  RN_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+}  // namespace rn

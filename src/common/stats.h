@@ -1,0 +1,30 @@
+// Tiny descriptive-statistics accumulator for benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rn {
+
+/// Collects samples and reports mean / stddev / min / max / percentiles.
+class sample_stats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  ///< sample standard deviation
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace rn

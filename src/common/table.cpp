@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rn {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RN_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  RN_REQUIRE(cells.size() == header_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void text_table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.append(width[c], '-');
+    if (c + 1 != header_.size()) rule.append("  ");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rn

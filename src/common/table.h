@@ -1,0 +1,28 @@
+// Aligned plain-text table printer used by the benchmark harnesses so every
+// experiment emits a uniform, diffable report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rn {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rn

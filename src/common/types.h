@@ -1,0 +1,30 @@
+// Fundamental identifier and index types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rn {
+
+/// Index of a node in a network; dense in [0, n).
+using node_id = std::uint32_t;
+
+/// A synchronous round number (rounds start at 0).
+using round_t = std::int64_t;
+
+/// BFS level (distance from the source in hops).
+using level_t = std::int32_t;
+
+/// GST rank; valid ranks are >= 1 and at most ceil(log2 n).
+using rank_t = std::int32_t;
+
+/// Sentinel for "no node" (e.g. the root's parent).
+inline constexpr node_id no_node = std::numeric_limits<node_id>::max();
+
+/// Sentinel for "level not yet assigned".
+inline constexpr level_t no_level = -1;
+
+/// Sentinel for "rank not yet assigned".
+inline constexpr rank_t no_rank = -1;
+
+}  // namespace rn

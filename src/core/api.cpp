@@ -1,0 +1,114 @@
+#include "core/api.h"
+
+#include "common/check.h"
+
+namespace rn::core {
+
+std::string to_string(single_algorithm a) {
+  switch (a) {
+    case single_algorithm::decay: return "decay";
+    case single_algorithm::tuned_decay: return "tuned-decay";
+    case single_algorithm::gst_known: return "gst-known";
+    case single_algorithm::gst_unknown_cd: return "gst-unknown-cd";
+  }
+  return "?";
+}
+
+std::string to_string(multi_algorithm a) {
+  switch (a) {
+    case multi_algorithm::sequential_decay: return "seq-decay";
+    case multi_algorithm::routing: return "routing";
+    case multi_algorithm::rlnc_known: return "rlnc-known";
+    case multi_algorithm::rlnc_unknown_cd: return "rlnc-unknown-cd";
+  }
+  return "?";
+}
+
+radio::broadcast_result run_single(const graph::graph& g, node_id source,
+                                   single_algorithm alg,
+                                   const run_options& opt) {
+  switch (alg) {
+    case single_algorithm::decay: {
+      baseline::decay_options o;
+      o.n_hat = opt.n_hat;
+      o.seed = opt.seed;
+      return baseline::run_decay_broadcast(g, source, o);
+    }
+    case single_algorithm::tuned_decay: {
+      baseline::tuned_decay_options o;
+      o.n_hat = opt.n_hat;
+      o.d_hat = opt.d_hat;
+      o.seed = opt.seed;
+      return baseline::run_tuned_decay_broadcast(g, source, o);
+    }
+    case single_algorithm::gst_known: {
+      single_broadcast_options o;
+      o.n_hat = opt.n_hat;
+      o.d_hat = opt.d_hat;
+      o.seed = opt.seed;
+      o.prm = opt.prm;
+      return run_known_single_broadcast(g, source, o);
+    }
+    case single_algorithm::gst_unknown_cd: {
+      single_broadcast_options o;
+      o.n_hat = opt.n_hat;
+      o.d_hat = opt.d_hat;
+      o.seed = opt.seed;
+      o.prm = opt.prm;
+      return run_unknown_cd_single_broadcast(g, source, o);
+    }
+  }
+  RN_REQUIRE(false, "unknown algorithm");
+  return {};
+}
+
+radio::broadcast_result run_multi(const graph::graph& g, node_id source,
+                                  std::size_t k, multi_algorithm alg,
+                                  const run_options& opt) {
+  switch (alg) {
+    case multi_algorithm::sequential_decay: {
+      baseline::multi_options o;
+      o.k = k;
+      o.n_hat = opt.n_hat;
+      o.seed = opt.seed;
+      return baseline::run_sequential_decay_multi(g, source, o);
+    }
+    case multi_algorithm::routing: {
+      baseline::multi_options o;
+      o.k = k;
+      o.n_hat = opt.n_hat;
+      o.seed = opt.seed;
+      return baseline::run_routing_multi(g, source, o);
+    }
+    case multi_algorithm::rlnc_known: {
+      multi_broadcast_options o;
+      o.n_hat = opt.n_hat;
+      o.d_hat = opt.d_hat;
+      o.seed = opt.seed;
+      o.prm = opt.prm;
+      o.payload_size = opt.payload_size;
+      const auto msgs = coding::make_test_messages(k, opt.payload_size,
+                                                   opt.seed ^ 0x5eedULL);
+      auto res = run_known_multi_broadcast(g, source, msgs, o);
+      res.base.completed = res.base.completed && res.payloads_verified;
+      return res.base;
+    }
+    case multi_algorithm::rlnc_unknown_cd: {
+      multi_broadcast_options o;
+      o.n_hat = opt.n_hat;
+      o.d_hat = opt.d_hat;
+      o.seed = opt.seed;
+      o.prm = opt.prm;
+      o.payload_size = opt.payload_size;
+      const auto msgs = coding::make_test_messages(k, opt.payload_size,
+                                                   opt.seed ^ 0x5eedULL);
+      auto res = run_unknown_cd_multi_broadcast(g, source, msgs, o);
+      res.base.completed = res.base.completed && res.payloads_verified;
+      return res.base;
+    }
+  }
+  RN_REQUIRE(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace rn::core

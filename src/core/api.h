@@ -1,0 +1,51 @@
+// Public facade: one entry point per algorithm family, for examples and
+// benchmark harnesses.
+#pragma once
+
+#include <string>
+
+#include "baseline/decay.h"
+#include "baseline/multi_baselines.h"
+#include "core/multi_broadcast.h"
+#include "core/single_broadcast.h"
+
+namespace rn::core {
+
+enum class single_algorithm {
+  decay,          ///< BGI Decay (baseline)
+  tuned_decay,    ///< Czumaj-Rytter-style stand-in (baseline)
+  gst_known,      ///< known topology, GST schedule (O(D + log^2 n))
+  gst_unknown_cd, ///< Theorem 1.1 (O(D + log^6 n))
+};
+
+enum class multi_algorithm {
+  sequential_decay,  ///< one Decay broadcast per message (baseline)
+  routing,           ///< store-and-forward random forwarding (baseline)
+  rlnc_known,        ///< Theorem 1.2
+  rlnc_unknown_cd,   ///< Theorem 1.3
+};
+
+[[nodiscard]] std::string to_string(single_algorithm a);
+[[nodiscard]] std::string to_string(multi_algorithm a);
+
+struct run_options {
+  std::size_t n_hat = 0;
+  level_t d_hat = 0;
+  std::uint64_t seed = 1;
+  params prm = params::paper();
+  std::size_t payload_size = 32;
+};
+
+/// Runs a single-message broadcast with the chosen algorithm.
+[[nodiscard]] radio::broadcast_result run_single(const graph::graph& g,
+                                                 node_id source,
+                                                 single_algorithm alg,
+                                                 const run_options& opt);
+
+/// Runs a k-message broadcast with the chosen algorithm.
+[[nodiscard]] radio::broadcast_result run_multi(const graph::graph& g,
+                                                node_id source, std::size_t k,
+                                                multi_algorithm alg,
+                                                const run_options& opt);
+
+}  // namespace rn::core

@@ -1,0 +1,80 @@
+#include "core/beep_waves.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "radio/network.h"
+
+namespace rn::core {
+
+diameter_estimate estimate_eccentricity_beep_waves(const graph::graph& g,
+                                                   node_id source) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+
+  radio::network net(g, {.collision_detection = true});
+  std::vector<radio::network::tx> txs;
+
+  diameter_estimate out;
+  for (level_t t = 1;; t *= 2) {
+    // Outgoing wave: source beeps every round; a node joins the round after
+    // it first observes a message or collision, remembering its arrival time.
+    std::vector<level_t> arrival(n, no_level);
+    arrival[source] = 0;
+    std::vector<node_id> wave{source};
+    std::vector<node_id> joined;
+    for (level_t r = 1; r <= t; ++r) {
+      txs.clear();
+      for (node_id v : wave) txs.push_back({v, radio::packet::make_beacon(v)});
+      joined.clear();
+      net.step(txs, [&](const radio::reception& rx) {
+        if (arrival[rx.listener] == no_level) {
+          arrival[rx.listener] = r;
+          joined.push_back(rx.listener);
+        }
+      });
+      wave.insert(wave.end(), joined.begin(), joined.end());
+    }
+
+    // One quiet separator round.
+    txs.clear();
+    net.step(txs, nullptr);
+
+    // Echo window: frontier nodes (arrival exactly t) flood back for t+1
+    // rounds; everyone that hears anything joins the echo.
+    std::vector<char> echoing(n, 0);
+    std::vector<node_id> echo_set;
+    for (node_id v = 0; v < n; ++v) {
+      if (arrival[v] == t) {
+        echoing[v] = 1;
+        echo_set.push_back(v);
+      }
+    }
+    bool source_heard = false;
+    for (level_t r = 0; r <= t; ++r) {
+      txs.clear();
+      for (node_id v : echo_set) txs.push_back({v, radio::packet::make_beacon(v)});
+      joined.clear();
+      net.step(txs, [&](const radio::reception& rx) {
+        if (rx.listener == source) source_heard = true;
+        if (!echoing[rx.listener]) {
+          echoing[rx.listener] = 1;
+          joined.push_back(rx.listener);
+        }
+      });
+      echo_set.insert(echo_set.end(), joined.begin(), joined.end());
+    }
+
+    if (!source_heard) {
+      // No node sits at distance exactly t, so ecc(source) < t; with the
+      // previous (failed) estimate t/2 <= ecc this is a 2-approximation.
+      out.estimate = t;
+      out.rounds = net.stats().rounds;
+      return out;
+    }
+    RN_REQUIRE(t < static_cast<level_t>(4 * n + 4),
+               "beep-wave estimation failed to terminate");
+  }
+}
+
+}  // namespace rn::core

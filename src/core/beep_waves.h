@@ -1,0 +1,30 @@
+// Beep-wave diameter estimation (paper footnote 2, via the beep-wave tool of
+// Ghaffari-Haeupler [10]).
+//
+// The paper assumes a constant-factor upper bound on D and notes it can be
+// computed in O(D) rounds with collision detection. This implements that
+// primitive by doubling: for T = 1, 2, 4, ... run a T-round collision wave
+// from the source, then open an echo window in which exactly the nodes first
+// reached in round T start a return wave. If the source hears anything
+// during the window, the wave was still expanding (ecc > T - 1) and T
+// doubles; otherwise ecc(source) < T <= 2 ecc(source) (for ecc >= 1), a
+// 2-approximation, and D <= 2 ecc <= 4 ecc(source). Total O(D) rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rn::core {
+
+struct diameter_estimate {
+  level_t estimate = 0;  ///< in [ecc(source), 2 ecc(source)] for ecc >= 1
+  round_t rounds = 0;
+};
+
+/// Requires the collision-detection model (echoes are mostly collisions).
+[[nodiscard]] diameter_estimate estimate_eccentricity_beep_waves(
+    const graph::graph& g, node_id source);
+
+}  // namespace rn::core

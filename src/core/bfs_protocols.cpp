@@ -1,0 +1,91 @@
+#include "core/bfs_protocols.h"
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "radio/network.h"
+
+namespace rn::core {
+
+layering_result run_collision_wave_bfs(const graph::graph& g, node_id source,
+                                       level_t d_hat) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+  RN_REQUIRE(d_hat >= 0, "d_hat must be non-negative");
+
+  radio::network net(g, {.collision_detection = true});
+  layering_result out;
+  out.level.assign(n, no_level);
+  out.level[source] = 0;
+
+  std::vector<node_id> wave{source};  // nodes transmitting from now on
+  std::vector<node_id> joined;
+  std::vector<radio::network::tx> txs;
+  for (level_t r = 1; r <= d_hat; ++r) {
+    txs.clear();
+    for (node_id v : wave)
+      txs.push_back({v, radio::packet::make_beacon(v)});
+    joined.clear();
+    net.step(txs, [&](const radio::reception& rx) {
+      // Message or collision both mean "the wave arrived".
+      if (out.level[rx.listener] == no_level) {
+        out.level[rx.listener] = r;
+        joined.push_back(rx.listener);
+      }
+    });
+    wave.insert(wave.end(), joined.begin(), joined.end());
+  }
+  out.rounds = net.stats().rounds;
+  out.transmissions = net.stats().transmissions;
+  return out;
+}
+
+layering_result run_decay_epoch_bfs(const graph::graph& g, node_id source,
+                                    level_t d_hat, std::size_t n_hat,
+                                    const params& prm, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  RN_REQUIRE(source < n, "source out of range");
+  const std::size_t nh = n_hat == 0 ? n : n_hat;
+  const int L = log_range(nh);
+  const int phases = prm.decay_phases(nh);
+
+  radio::network net(g, {.collision_detection = false});
+  layering_result out;
+  out.level.assign(n, no_level);
+  out.level[source] = 0;
+
+  std::vector<rng> node_rng;
+  node_rng.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    node_rng.push_back(rng::for_stream(seed, v));
+
+  std::vector<node_id> informed{source};
+  std::vector<node_id> fresh;
+  std::vector<radio::network::tx> txs;
+  for (level_t epoch = 1; epoch <= d_hat; ++epoch) {
+    fresh.clear();
+    for (int ph = 0; ph < phases; ++ph) {
+      for (int e = 0; e <= L; ++e) {
+        txs.clear();
+        for (node_id v : informed) {
+          if (node_rng[v].with_probability_pow2(e))
+            txs.push_back({v, radio::packet::make_beacon(v)});
+        }
+        net.step(txs, [&](const radio::reception& rx) {
+          if (rx.what == radio::observation::message &&
+              out.level[rx.listener] == no_level) {
+            out.level[rx.listener] = epoch;
+            fresh.push_back(rx.listener);
+          }
+        });
+      }
+    }
+    // Nodes first informed during this epoch relay from the next epoch on.
+    informed.insert(informed.end(), fresh.begin(), fresh.end());
+  }
+  out.rounds = net.stats().rounds;
+  out.transmissions = net.stats().transmissions;
+  return out;
+}
+
+}  // namespace rn::core

@@ -1,0 +1,41 @@
+// Distributed BFS-layering protocols.
+//
+//  * collision wave (paper, proof of Thm 1.1; needs collision detection):
+//    the source transmits in every round; a node that first observes a
+//    message-or-collision in round r learns level r and joins the wave.
+//    Exactly D_hat rounds.
+//  * Decay epochs (paper section 2.2.2; no CD): D_hat epochs of
+//    Theta(log n) Decay phases; a node's level is the epoch of its first
+//    reception. O(D log^2 n) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/params.h"
+#include "graph/graph.h"
+
+namespace rn::core {
+
+struct layering_result {
+  std::vector<level_t> level;  ///< no_level if never reached
+  round_t rounds = 0;
+  std::int64_t transmissions = 0;
+};
+
+/// Collision-wave layering; requires the CD model. `d_hat` must be >= the
+/// eccentricity of the source (constant-factor upper bounds only cost rounds).
+[[nodiscard]] layering_result run_collision_wave_bfs(const graph::graph& g,
+                                                     node_id source,
+                                                     level_t d_hat);
+
+/// Decay-epoch layering (works without CD).
+[[nodiscard]] layering_result run_decay_epoch_bfs(const graph::graph& g,
+                                                  node_id source,
+                                                  level_t d_hat,
+                                                  std::size_t n_hat,
+                                                  const params& prm,
+                                                  std::uint64_t seed);
+
+}  // namespace rn::core

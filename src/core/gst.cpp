@@ -1,0 +1,231 @@
+#include "core/gst.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "graph/bfs.h"
+
+namespace rn::core {
+
+std::size_t gst::member_count() const {
+  return static_cast<std::size_t>(
+      std::count(member.begin(), member.end(), char{1}));
+}
+
+level_t gst::max_level() const {
+  level_t m = 0;
+  for (std::size_t v = 0; v < level.size(); ++v)
+    if (member[v] && level[v] != no_level) m = std::max(m, level[v]);
+  return m;
+}
+
+rank_t gst::max_rank() const {
+  rank_t m = 0;
+  for (std::size_t v = 0; v < rank.size(); ++v)
+    if (member[v] && rank[v] != no_rank) m = std::max(m, rank[v]);
+  return m;
+}
+
+gst_derived derive(const graph::graph& g, const gst& t) {
+  const std::size_t n = t.node_count();
+  gst_derived d;
+  d.stretch_child.assign(n, no_node);
+  d.is_stretch_head.assign(n, 0);
+  d.virtual_distance.assign(n, no_level);
+
+  for (node_id v = 0; v < n; ++v) {
+    if (!t.member[v]) continue;
+    const node_id p = t.parent[v];
+    if (p == no_node) {
+      d.is_stretch_head[v] = 1;
+    } else if (t.rank[p] != t.rank[v]) {
+      d.is_stretch_head[v] = 1;
+    } else {
+      RN_REQUIRE(d.stretch_child[p] == no_node,
+                 "ranking rule violated: two same-rank children");
+      d.stretch_child[p] = v;
+    }
+  }
+
+  // Directed BFS over G' from the roots. G-edges go both ways (members only);
+  // fast edges jump from each stretch head to every later node of its stretch.
+  std::deque<node_id> queue;
+  for (node_id r : t.roots) {
+    RN_REQUIRE(t.member[r], "root must be a member");
+    if (d.virtual_distance[r] == no_level) {
+      d.virtual_distance[r] = 0;
+      queue.push_back(r);
+    }
+  }
+  while (!queue.empty()) {
+    const node_id u = queue.front();
+    queue.pop_front();
+    const level_t du = d.virtual_distance[u];
+    auto relax = [&](node_id w) {
+      if (t.member[w] && d.virtual_distance[w] == no_level) {
+        d.virtual_distance[w] = du + 1;
+        queue.push_back(w);
+      }
+    };
+    for (node_id w : g.neighbors(u)) relax(w);
+    if (d.is_stretch_head[u]) {
+      for (node_id w = d.stretch_child[u]; w != no_node;
+           w = d.stretch_child[w])
+        relax(w);
+    }
+  }
+  return d;
+}
+
+std::vector<rank_t> compute_ranks(const gst& t) {
+  const std::size_t n = t.node_count();
+  // Order members by decreasing level so children precede parents.
+  std::vector<node_id> order;
+  order.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    if (t.member[v] && t.level[v] != no_level) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+    return t.level[a] > t.level[b];
+  });
+
+  std::vector<rank_t> best(n, 0);        // max child rank seen so far
+  std::vector<int> best_count(n, 0);     // children attaining it
+  std::vector<rank_t> out(n, no_rank);
+  for (node_id v : order) {
+    out[v] = best[v] == 0 ? 1 : (best_count[v] >= 2 ? best[v] + 1 : best[v]);
+    const node_id p = t.parent[v];
+    if (p != no_node) {
+      if (out[v] > best[p]) {
+        best[p] = out[v];
+        best_count[p] = 1;
+      } else if (out[v] == best[p]) {
+        best_count[p] += 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> validate_gst(const graph::graph& g, const gst& t) {
+  std::vector<std::string> errors;
+  auto fail = [&](const std::string& s) { errors.push_back(s); };
+  const std::size_t n = t.node_count();
+  if (g.node_count() != n) {
+    fail("gst size does not match graph");
+    return errors;
+  }
+
+  std::vector<char> is_root(n, 0);
+  for (node_id r : t.roots) {
+    if (r >= n || !t.member[r])
+      fail("root out of range or not a member");
+    else
+      is_root[r] = 1;
+  }
+
+  // Structure + BFS levels.
+  for (node_id v = 0; v < n; ++v) {
+    if (!t.member[v]) continue;
+    if (t.level[v] == no_level) {
+      fail("member node " + std::to_string(v) + " has no level");
+      continue;
+    }
+    if (is_root[v]) {
+      if (t.level[v] != 0)
+        fail("root " + std::to_string(v) + " not at level 0");
+      if (t.parent[v] != no_node)
+        fail("root " + std::to_string(v) + " has a parent");
+      continue;
+    }
+    const node_id p = t.parent[v];
+    if (p == no_node || p >= n || !t.member[p]) {
+      fail("member node " + std::to_string(v) + " lacks a valid parent");
+      continue;
+    }
+    if (!g.has_edge(v, p))
+      fail("parent edge " + std::to_string(v) + "-" + std::to_string(p) +
+           " not in graph");
+    if (t.level[v] != t.level[p] + 1)
+      fail("node " + std::to_string(v) + " level != parent level + 1");
+  }
+  if (!errors.empty()) return errors;
+
+  // Levels must be true forest distances: no member may have a member
+  // neighbor two or more levels below it (BFS property).
+  for (node_id v = 0; v < n; ++v) {
+    if (!t.member[v]) continue;
+    for (node_id w : g.neighbors(v)) {
+      if (!t.member[w]) continue;
+      if (t.level[w] > t.level[v] + 1)
+        fail("levels not a BFS layering at edge " + std::to_string(v) + "-" +
+             std::to_string(w));
+    }
+  }
+
+  // Ranking rule.
+  const auto expect = compute_ranks(t);
+  for (node_id v = 0; v < n; ++v) {
+    if (!t.member[v]) continue;
+    if (t.rank[v] != expect[v])
+      fail("node " + std::to_string(v) + " rank " + std::to_string(t.rank[v]) +
+           " violates the ranking rule (expected " +
+           std::to_string(expect[v]) + ")");
+  }
+
+  // Max rank bound: ceil(log2(m)) + 1 covers the m=1 and rank-1 leaf cases
+  // (a rank-r node has >= 2^(r-1) descendants).
+  const auto m = t.member_count();
+  if (m > 0) {
+    const rank_t bound = static_cast<rank_t>(ceil_log2(m < 2 ? 2 : m)) + 1;
+    if (t.max_rank() > bound)
+      fail("max rank " + std::to_string(t.max_rank()) + " exceeds bound " +
+           std::to_string(bound));
+  }
+
+  // Collision-freeness (induced-matching form): if u's parent v has the same
+  // rank r, then no *other* rank-r node at u's parent level that also has a
+  // same-rank child may be adjacent to u.
+  std::vector<char> has_same_rank_child(n, 0);
+  for (node_id v = 0; v < n; ++v) {
+    if (!t.member[v]) continue;
+    const node_id p = t.parent[v];
+    if (p != no_node && t.rank[p] == t.rank[v]) has_same_rank_child[p] = 1;
+  }
+  for (node_id u = 0; u < n; ++u) {
+    if (!t.member[u]) continue;
+    const node_id p = t.parent[u];
+    if (p == no_node || t.rank[p] != t.rank[u]) continue;
+    for (node_id w : g.neighbors(u)) {
+      if (w == p || !t.member[w]) continue;
+      if (t.level[w] == t.level[u] - 1 && t.rank[w] == t.rank[u] &&
+          has_same_rank_child[w]) {
+        std::ostringstream os;
+        os << "collision-freeness violated: node " << u << " (rank "
+           << t.rank[u] << ", parent " << p << ") adjacent to same-rank parent "
+           << w;
+        fail(os.str());
+      }
+    }
+  }
+  return errors;
+}
+
+gst ranked_bfs(const graph::graph& g, node_id source) {
+  const auto b = graph::bfs(g, source);
+  gst t;
+  const std::size_t n = g.node_count();
+  t.roots = {source};
+  t.member.assign(n, 0);
+  t.level = b.level;
+  t.parent = b.parent;
+  t.rank.assign(n, no_rank);
+  for (node_id v = 0; v < n; ++v)
+    if (b.level[v] != no_level) t.member[v] = 1;
+  t.rank = compute_ranks(t);
+  return t;
+}
+
+}  // namespace rn::core

@@ -1,0 +1,68 @@
+// Gathering Spanning Trees (paper section 2.1).
+//
+// A GST is a BFS tree (or multi-root BFS forest, for ring decompositions)
+// whose nodes carry ranks computed by the GPX ranking rule:
+//   * a leaf has rank 1;
+//   * an internal node whose children's maximum rank is r has rank r if
+//     exactly one child attains r, and rank r+1 otherwise;
+// and which satisfies the *collision-freeness* property: the edges between
+// same-rank parents and children form an induced matching of the level-graph
+// (no node u with a same-rank parent v is adjacent to a different same-rank
+// node v' that also has a same-rank child).
+//
+// A maximal same-rank root-to-leaf path segment is a *fast stretch*; because
+// a rank-r node has at most one rank-r child, stretches are paths and every
+// node has at most one `stretch_child`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rn::core {
+
+/// A ranked BFS forest over (a subset of) a graph's nodes.
+struct gst {
+  std::vector<node_id> roots;   ///< level-0 nodes (1 for single-source GSTs)
+  std::vector<char> member;     ///< nodes covered by this (ring's) forest
+  std::vector<level_t> level;   ///< BFS level within the forest; no_level if non-member
+  std::vector<node_id> parent;  ///< tree parent; no_node for roots/non-members
+  std::vector<rank_t> rank;     ///< GPX rank; no_rank if non-member
+
+  [[nodiscard]] std::size_t node_count() const { return member.size(); }
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] level_t max_level() const;
+  [[nodiscard]] rank_t max_rank() const;
+};
+
+/// Derived structure used by transmission schedules.
+struct gst_derived {
+  std::vector<node_id> stretch_child;  ///< same-rank child; no_node if none
+  std::vector<char> is_stretch_head;   ///< true if parent missing or of higher rank
+  /// Virtual distance: directed distance from the roots in G' = G (both
+  /// directions) + fast edges (stretch head -> each same-rank descendant).
+  /// Roots have distance 0. (Paper section 3.2; bounded by 2*ceil(log2 n)+1.)
+  std::vector<level_t> virtual_distance;
+};
+
+/// Computes stretches and virtual distances for a valid GST.
+[[nodiscard]] gst_derived derive(const graph::graph& g, const gst& t);
+
+/// Recomputes ranks from scratch by the GPX ranking rule (used by the
+/// validator and by the ranked-BFS example). Assumes parent/level are set.
+[[nodiscard]] std::vector<rank_t> compute_ranks(const gst& t);
+
+/// Validates all GST invariants; returns human-readable violations (empty ==
+/// valid): tree structure over members, BFS levels, ranking rule, max-rank
+/// bound ceil(log2(member_count)), and collision-freeness.
+[[nodiscard]] std::vector<std::string> validate_gst(const graph::graph& g,
+                                                    const gst& t);
+
+/// Builds a plain ranked BFS tree (min-id parents, ranking rule applied,
+/// no collision-freeness guarantee). This reproduces the *left* side of the
+/// paper's Figure 1; `validate_gst` on it may legitimately fail.
+[[nodiscard]] gst ranked_bfs(const graph::graph& g, node_id source);
+
+}  // namespace rn::core

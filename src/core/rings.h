@@ -1,0 +1,39 @@
+// Ring decomposition (paper section 2.3): the BFS layering is cut into rings
+// of `width` consecutive layers; each ring gets its own multi-root GST whose
+// roots are the ring's innermost layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rn::core {
+
+struct ring_spec {
+  level_t first_layer = 0;         ///< absolute BFS layer of the ring's roots
+  level_t depth = 0;               ///< deepest relative level in the ring
+  std::vector<node_id> roots;      ///< nodes at `first_layer`
+  std::vector<node_id> members;    ///< all nodes of the ring
+};
+
+struct ring_decomposition {
+  level_t width = 0;
+  std::vector<ring_spec> rings;
+  std::vector<std::int32_t> ring_of;  ///< per node; -1 if unreachable
+  std::vector<level_t> rel_level;     ///< level within the ring
+};
+
+/// Splits nodes by `level / width`. Width is clamped to >= 3 so that
+/// simultaneous per-ring GST constructions can never interfere [DEV-6]
+/// (width 1..2 would place pipeline-synchronized problems on adjacent
+/// absolute layers).
+[[nodiscard]] ring_decomposition decompose_rings(
+    const std::vector<level_t>& levels, level_t width);
+
+/// The paper's width D / log^4 n with the [DEV-6] clamp; `ring_divisor == 0`
+/// requests a single ring (footnote 7 regime).
+[[nodiscard]] level_t ring_width_for(level_t depth, double ring_divisor);
+
+}  // namespace rn::core

@@ -1,0 +1,39 @@
+#include "core/schedule.h"
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace rn::core {
+
+gst_schedule::gst_schedule(const gst& t, const gst_derived& d,
+                           std::size_t n_hat, bool slow_by_virtual_distance)
+    : t_(&t), d_(&d), L_(log_range(n_hat)), slow_by_vd_(slow_by_virtual_distance) {
+  RN_REQUIRE(t.node_count() == d.stretch_child.size(),
+             "gst and derived data mismatch");
+}
+
+gst_schedule::action gst_schedule::query(node_id v, round_t t, rng& r) const {
+  if (!t_->member[v]) return action::none;
+  const level_t l = t_->level[v];
+  const rank_t rk = t_->rank[v];
+  if (l == no_level || rk == no_rank) return action::none;
+
+  if (t % 2 == 0) {
+    // Fast slot: only stretch members with a same-rank child transmit [DEV-3].
+    if (d_->stretch_child[v] == no_node) return action::none;
+    const round_t period = 6 * L_;
+    const round_t slot = (2 * (static_cast<round_t>(l) + 3 * rk)) % period;
+    return (t % period) == slot ? action::fast : action::none;
+  }
+
+  // Slow slot, keyed by virtual distance (or level in the classic ablation).
+  const level_t key = slow_by_vd_ ? d_->virtual_distance[v] : l;
+  if (key == no_level) return action::none;
+  const round_t start = 1 + 2 * static_cast<round_t>(key);
+  if (t < start) return action::none;  // schedule not yet reached this depth
+  if ((t - start) % 6 != 0) return action::none;
+  const int e = static_cast<int>(((t - start) / 6) % L_);
+  return r.with_probability_pow2(e) ? action::slow_prompt : action::none;
+}
+
+}  // namespace rn::core

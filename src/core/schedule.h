@@ -1,0 +1,55 @@
+// The paper's transmission schedules atop a GST (section 3.2).
+//
+// Round parity splits the schedule:
+//  * even rounds — *fast* transmissions pipeline packets down fast stretches:
+//    a stretch member u at level l with rank r transmits when
+//    t == 2(l + 3r) (mod 6L). Only nodes with a same-rank child transmit
+//    [DEV-3], which together with GST collision-freeness makes fast rounds
+//    provably collision-free (Lemma 3.5).
+//  * odd rounds — *slow* Decay-style transmissions keyed to the node's
+//    virtual distance d in G' (fast edges + graph edges): prompted when
+//    t == 1 + 2d (mod 6), with probability 2^-((t-1-2d)/6 mod L).
+//
+// The `classic_levels` variant keys slow transmissions to BFS levels instead
+// of virtual distances — the [7]/[19]-style schedule the paper argues is not
+// MMV; we keep it as an ablation (experiment E5).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/gst.h"
+
+namespace rn::core {
+
+class gst_schedule {
+ public:
+  /// `slow_by_virtual_distance == false` selects the classic level-keyed
+  /// ablation variant.
+  gst_schedule(const gst& t, const gst_derived& d, std::size_t n_hat,
+               bool slow_by_virtual_distance = true);
+
+  enum class action : std::uint8_t {
+    none,         ///< listen
+    fast,         ///< deterministic fast-stretch transmission
+    slow_prompt,  ///< prompted to transmit (coin already flipped)
+  };
+
+  /// Decision for node v in round t; consumes randomness from r for the slow
+  /// coin. Non-members are never prompted.
+  [[nodiscard]] action query(node_id v, round_t t, rng& r) const;
+
+  /// One full fast-wave period (a stretch head emits once per period).
+  [[nodiscard]] round_t fast_period() const { return 6 * L_; }
+
+  [[nodiscard]] int log_n() const { return L_; }
+
+ private:
+  const gst* t_;
+  const gst_derived* d_;
+  int L_;
+  bool slow_by_vd_;
+};
+
+}  // namespace rn::core

@@ -1,0 +1,90 @@
+#include "core/virtual_distance.h"
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "radio/network.h"
+
+namespace rn::core {
+
+vdist_labeling_result run_vdist_labeling(
+    const graph::graph& g, const gst& t,
+    const std::vector<rank_t>& parent_rank,
+    const std::vector<node_id>& stretch_child, std::size_t n_hat,
+    const params& prm, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  const std::size_t nh = n_hat == 0 ? n : n_hat;
+  const int L = log_range(nh);
+  const int dp = prm.decay_phases(nh);
+  const level_t depth = t.max_level();
+  const rank_t max_rank = t.max_rank();
+
+  vdist_labeling_result out;
+  out.vdist.assign(n, no_level);
+  for (node_id r : t.roots) out.vdist[r] = 0;
+
+  auto is_head = [&](node_id v) {
+    return t.parent[v] == no_node || parent_rank[v] != t.rank[v];
+  };
+
+  radio::network net(g, {.collision_detection = false});
+  std::vector<rng> node_rng;
+  node_rng.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    node_rng.push_back(rng::for_stream(seed, v));
+
+  std::vector<radio::network::tx> txs;
+  auto rx_stretch = [&](const radio::reception& rx, level_t d) {
+    // A stretch child adopts d+1 when it hears its own parent.
+    const node_id u = rx.listener;
+    if (rx.what != radio::observation::message) return;
+    if (!t.member[u] || out.vdist[u] != no_level) return;
+    if (rx.from == t.parent[u] && parent_rank[u] == t.rank[u])
+      out.vdist[u] = d + 1;
+  };
+
+  const level_t max_d = 2 * static_cast<level_t>(L) + 1;
+  for (level_t d = 0; d <= max_d; ++d) {
+    // Stage 1: flood d+1 down stretches headed by distance-d heads.
+    for (rank_t r = 1; r <= max_rank; ++r) {
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (level_t l = 0; l < depth; ++l) {
+          txs.clear();
+          for (node_id v = 0; v < n; ++v) {
+            if (!t.member[v] || t.rank[v] != r || t.level[v] != l) continue;
+            if (stretch_child[v] == no_node) continue;  // [DEV-3]
+            const bool fire = sweep == 0
+                                  ? (out.vdist[v] == d && is_head(v))
+                                  : (out.vdist[v] == d + 1);
+            if (fire) txs.push_back({v, radio::packet::make_beacon(v)});
+          }
+          net.step(txs, [&](const radio::reception& rx) { rx_stretch(rx, d); });
+        }
+      }
+    }
+    // Stage 2: Decay from all distance-d nodes; unlabeled hearers are d+1.
+    for (int ph = 0; ph < dp; ++ph) {
+      for (int e = 0; e <= L; ++e) {
+        txs.clear();
+        for (node_id v = 0; v < n; ++v) {
+          if (t.member[v] && out.vdist[v] == d &&
+              node_rng[v].with_probability_pow2(e))
+            txs.push_back({v, radio::packet::make_beacon(v)});
+        }
+        net.step(txs, [&](const radio::reception& rx) {
+          const node_id u = rx.listener;
+          if (rx.what == radio::observation::message && t.member[u] &&
+              out.vdist[u] == no_level)
+            out.vdist[u] = d + 1;
+        });
+      }
+    }
+  }
+
+  for (node_id v = 0; v < n; ++v)
+    if (t.member[v] && out.vdist[v] == no_level) ++out.unlabeled;
+  out.rounds = net.stats().rounds;
+  return out;
+}
+
+}  // namespace rn::core

@@ -1,0 +1,57 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace rn::graph {
+
+bfs_result bfs(const graph& g, node_id source) {
+  return bfs_multi(g, {source});
+}
+
+bfs_result bfs_multi(const graph& g, const std::vector<node_id>& sources,
+                     const std::vector<char>* mask) {
+  const std::size_t n = g.node_count();
+  bfs_result out;
+  out.level.assign(n, no_level);
+  out.parent.assign(n, no_node);
+  std::deque<node_id> queue;
+  for (node_id s : sources) {
+    RN_REQUIRE(s < n, "BFS source out of range");
+    RN_REQUIRE(mask == nullptr || (*mask)[s], "BFS source excluded by mask");
+    if (out.level[s] == no_level) {
+      out.level[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const node_id u = queue.front();
+    queue.pop_front();
+    out.max_level = std::max(out.max_level, out.level[u]);
+    for (node_id v : g.neighbors(u)) {
+      if (mask != nullptr && !(*mask)[v]) continue;
+      if (out.level[v] == no_level) {
+        out.level[v] = out.level[u] + 1;
+        out.parent[v] = u;
+        queue.push_back(v);
+      } else if (out.level[v] == out.level[u] + 1 && out.parent[v] != no_node &&
+                 u < out.parent[v]) {
+        out.parent[v] = u;  // deterministic min-id parent
+      }
+    }
+  }
+  return out;
+}
+
+level_t diameter(const graph& g) {
+  level_t best = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const auto r = bfs(g, v);
+    best = std::max(best, r.max_level);
+  }
+  return best;
+}
+
+}  // namespace rn::graph

@@ -1,0 +1,30 @@
+// Breadth-first search utilities: levels, parents, diameter.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rn::graph {
+
+/// Result of a BFS from a single source.
+struct bfs_result {
+  std::vector<level_t> level;   ///< hop distance from source; no_level if unreachable
+  std::vector<node_id> parent;  ///< BFS parent (min-id among candidates); no_node for source/unreachable
+  level_t max_level = 0;        ///< eccentricity of the source
+};
+
+/// BFS over the whole graph from `source`.
+[[nodiscard]] bfs_result bfs(const graph& g, node_id source);
+
+/// BFS restricted to nodes with `mask[v] == true` (used for ring subgraphs);
+/// `sources` all start at level 0.
+[[nodiscard]] bfs_result bfs_multi(const graph& g,
+                                   const std::vector<node_id>& sources,
+                                   const std::vector<char>* mask = nullptr);
+
+/// Exact diameter (max eccentricity); O(n * m), fine for test-sized graphs.
+[[nodiscard]] level_t diameter(const graph& g);
+
+}  // namespace rn::graph

@@ -1,0 +1,39 @@
+#include "graph/dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace rn::graph {
+
+std::string to_dot(const graph& g, const std::vector<dot_node_style>& styles,
+                   const std::vector<dot_highlight_edge>& tree) {
+  std::ostringstream os;
+  os << "graph G {\n  node [shape=circle];\n";
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v;
+    os << " [";
+    if (v < styles.size() && !styles[v].label.empty())
+      os << "label=\"" << styles[v].label << "\" ";
+    else
+      os << "label=\"" << v << "\" ";
+    if (v < styles.size() && !styles[v].color.empty())
+      os << "style=filled fillcolor=" << styles[v].color;
+    os << "];\n";
+  }
+  std::set<std::pair<node_id, node_id>> tree_edges;
+  for (const auto& e : tree) {
+    tree_edges.insert({std::min(e.from, e.to), std::max(e.from, e.to)});
+  }
+  for (auto [u, v] : g.edges()) {
+    if (tree_edges.count({u, v}) != 0) continue;
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  for (const auto& e : tree) {
+    os << "  n" << e.from << " -- n" << e.to << " [color=" << e.color
+       << " penwidth=2.5];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rn::graph

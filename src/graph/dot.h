@@ -1,0 +1,29 @@
+// Graphviz DOT export, used by examples to visualize GSTs (Figure 1 style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace rn::graph {
+
+/// Per-node annotation for DOT output.
+struct dot_node_style {
+  std::string label;  ///< empty = node id
+  std::string color;  ///< empty = default
+};
+
+/// Highlighted (directed) edges drawn in bold on top of the base graph.
+struct dot_highlight_edge {
+  node_id from = 0;
+  node_id to = 0;
+  std::string color = "green";
+};
+
+[[nodiscard]] std::string to_dot(const graph& g,
+                                 const std::vector<dot_node_style>& styles = {},
+                                 const std::vector<dot_highlight_edge>& tree = {});
+
+}  // namespace rn::graph

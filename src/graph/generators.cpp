@@ -1,0 +1,177 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rn::graph {
+
+graph path(std::size_t n) {
+  RN_REQUIRE(n >= 1, "path needs >= 1 node");
+  graph::builder b(n);
+  for (node_id i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return std::move(b).build();
+}
+
+graph cycle(std::size_t n) {
+  RN_REQUIRE(n >= 3, "cycle needs >= 3 nodes");
+  graph::builder b(n);
+  for (node_id i = 0; i < n; ++i)
+    b.add_edge(i, static_cast<node_id>((i + 1) % n));
+  return std::move(b).build();
+}
+
+graph star(std::size_t n) {
+  RN_REQUIRE(n >= 2, "star needs >= 2 nodes");
+  graph::builder b(n);
+  for (node_id i = 1; i < n; ++i) b.add_edge(0, i);
+  return std::move(b).build();
+}
+
+graph complete(std::size_t n) {
+  RN_REQUIRE(n >= 1, "complete graph needs >= 1 node");
+  graph::builder b(n);
+  for (node_id i = 0; i < n; ++i)
+    for (node_id j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return std::move(b).build();
+}
+
+graph grid(std::size_t rows, std::size_t cols) {
+  RN_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  graph::builder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<node_id>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+graph binary_tree(std::size_t n) {
+  RN_REQUIRE(n >= 1, "tree needs >= 1 node");
+  graph::builder b(n);
+  for (node_id i = 1; i < n; ++i) b.add_edge(i, (i - 1) / 2);
+  return std::move(b).build();
+}
+
+graph caterpillar(std::size_t spine, std::size_t legs) {
+  RN_REQUIRE(spine >= 1, "caterpillar needs a spine");
+  const std::size_t n = spine * (1 + legs);
+  graph::builder b(n);
+  for (node_id i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  node_id next = static_cast<node_id>(spine);
+  for (node_id s = 0; s < spine; ++s)
+    for (std::size_t l = 0; l < legs; ++l) b.add_edge(s, next++);
+  return std::move(b).build();
+}
+
+graph random_layered(const layered_options& opt) {
+  RN_REQUIRE(opt.depth >= 1 && opt.width >= 1, "layered graph dimensions");
+  const std::size_t n = 1 + opt.depth * opt.width;
+  rng r(opt.seed);
+  graph::builder b(n);
+  auto layer_node = [&](std::size_t layer, std::size_t i) -> node_id {
+    // Layer 0 is just node 0.
+    return layer == 0 ? 0
+                      : static_cast<node_id>(1 + (layer - 1) * opt.width + i);
+  };
+  auto layer_size = [&](std::size_t layer) -> std::size_t {
+    return layer == 0 ? 1 : opt.width;
+  };
+  for (std::size_t layer = 1; layer <= opt.depth; ++layer) {
+    const std::size_t prev = layer_size(layer - 1);
+    for (std::size_t i = 0; i < layer_size(layer); ++i) {
+      const node_id v = layer_node(layer, i);
+      // Guarantee one parent so BFS depth is exact.
+      b.add_edge(v, layer_node(layer - 1, r.uniform(prev)));
+      for (std::size_t j = 0; j < prev; ++j)
+        if (r.bernoulli(opt.edge_prob))
+          b.add_edge(v, layer_node(layer - 1, j));
+      if (opt.intra_prob > 0)
+        for (std::size_t j = i + 1; j < layer_size(layer); ++j)
+          if (r.bernoulli(opt.intra_prob))
+            b.add_edge(v, layer_node(layer, j));
+    }
+  }
+  return std::move(b).build();
+}
+
+graph random_gnp_connected(std::size_t n, double p, std::uint64_t seed) {
+  RN_REQUIRE(n >= 1, "gnp needs >= 1 node");
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    rng r(seed + attempt * 0x51ed2701ULL);
+    graph::builder b(n);
+    for (node_id i = 0; i < n; ++i)
+      for (node_id j = i + 1; j < n; ++j)
+        if (r.bernoulli(p)) b.add_edge(i, j);
+    graph g = std::move(b).build();
+    if (g.connected()) return g;
+  }
+  RN_REQUIRE(false, "G(n,p) never connected; p too small");
+  return {};
+}
+
+graph random_unit_disk(std::size_t n, double radius, std::uint64_t seed) {
+  RN_REQUIRE(n >= 1 && radius > 0, "unit disk parameters");
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    rng r(seed + attempt * 0x9d5f3ULL);
+    std::vector<std::pair<double, double>> pts(n);
+    for (auto& pt : pts) pt = {r.uniform01(), r.uniform01()};
+    graph::builder b(n);
+    for (node_id i = 0; i < n; ++i) {
+      for (node_id j = i + 1; j < n; ++j) {
+        const double dx = pts[i].first - pts[j].first;
+        const double dy = pts[i].second - pts[j].second;
+        if (std::sqrt(dx * dx + dy * dy) <= radius) b.add_edge(i, j);
+      }
+    }
+    graph g = std::move(b).build();
+    if (g.connected()) return g;
+  }
+  RN_REQUIRE(false, "unit disk never connected; radius too small");
+  return {};
+}
+
+graph clique_chain(std::size_t cliques, std::size_t clique_size) {
+  RN_REQUIRE(cliques >= 1 && clique_size >= 1, "clique chain parameters");
+  const std::size_t n = cliques * clique_size;
+  graph::builder b(n);
+  auto id = [clique_size](std::size_t c, std::size_t i) {
+    return static_cast<node_id>(c * clique_size + i);
+  };
+  for (std::size_t c = 0; c < cliques; ++c) {
+    for (std::size_t i = 0; i < clique_size; ++i)
+      for (std::size_t j = i + 1; j < clique_size; ++j)
+        b.add_edge(id(c, i), id(c, j));
+    if (c + 1 < cliques)
+      b.add_edge(id(c, clique_size - 1), id(c + 1, 0));
+  }
+  return std::move(b).build();
+}
+
+graph dumbbell(std::size_t side, std::size_t bridge_len) {
+  RN_REQUIRE(side >= 1, "dumbbell side size");
+  const std::size_t n = 2 * side + bridge_len;
+  graph::builder b(n);
+  for (node_id i = 0; i < side; ++i)
+    for (node_id j = i + 1; j < side; ++j) b.add_edge(i, j);
+  const node_id right = static_cast<node_id>(side + bridge_len);
+  for (node_id i = right; i < n; ++i)
+    for (node_id j = i + 1; j < n; ++j) b.add_edge(i, j);
+  node_id prev = side - 1;
+  for (std::size_t i = 0; i < bridge_len; ++i) {
+    const node_id mid = static_cast<node_id>(side + i);
+    b.add_edge(prev, mid);
+    prev = mid;
+  }
+  b.add_edge(prev, right);
+  return std::move(b).build();
+}
+
+}  // namespace rn::graph

@@ -1,0 +1,69 @@
+// Topology generators for the experiments. Each returns a connected graph.
+//
+// The workhorse for diameter-controlled experiments is `random_layered`: D+1
+// layers of a given width with random inter-layer edges, so the BFS depth from
+// node 0 is exactly D while the layer width controls contention (this is the
+// shape the paper's lower-bound graphs and the classic Decay analyses use).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace rn::graph {
+
+/// Simple path v0 - v1 - ... - v_{n-1}.
+[[nodiscard]] graph path(std::size_t n);
+
+/// Cycle over n >= 3 nodes.
+[[nodiscard]] graph cycle(std::size_t n);
+
+/// Star: node 0 is the hub of n-1 leaves.
+[[nodiscard]] graph star(std::size_t n);
+
+/// Complete graph on n nodes.
+[[nodiscard]] graph complete(std::size_t n);
+
+/// rows x cols grid; node (r, c) has id r*cols + c.
+[[nodiscard]] graph grid(std::size_t rows, std::size_t cols);
+
+/// Balanced binary tree on n nodes (heap indexing).
+[[nodiscard]] graph binary_tree(std::size_t n);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+[[nodiscard]] graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// Parameters for `random_layered`.
+struct layered_options {
+  std::size_t depth = 8;       ///< number of hops from node 0 to the last layer
+  std::size_t width = 8;       ///< nodes per intermediate layer
+  double edge_prob = 0.5;      ///< probability of each cross-layer edge
+  double intra_prob = 0.0;     ///< probability of each same-layer edge
+  std::uint64_t seed = 1;
+};
+
+/// Layer 0 = {node 0}; layers 1..depth have `width` nodes each. Every node in
+/// layer i+1 gets at least one neighbor in layer i (so eccentricity of node 0
+/// is exactly `depth`), plus random cross/intra-layer edges.
+[[nodiscard]] graph random_layered(const layered_options& opt);
+
+/// Erdos-Renyi G(n, p) conditioned on connectivity: edges are resampled with
+/// fresh seeds until the graph is connected (p should be above the threshold).
+[[nodiscard]] graph random_gnp_connected(std::size_t n, double p,
+                                         std::uint64_t seed);
+
+/// Random unit-disk graph: n points uniform in [0,1]^2, edge iff distance <=
+/// radius; resampled until connected.
+[[nodiscard]] graph random_unit_disk(std::size_t n, double radius,
+                                     std::uint64_t seed);
+
+/// A chain of `cliques` cliques of size `clique_size`, consecutive cliques
+/// joined by a single bridge edge. Diameter ~ 2 * cliques; heavy contention
+/// inside cliques. Node 0 is in the first clique.
+[[nodiscard]] graph clique_chain(std::size_t cliques, std::size_t clique_size);
+
+/// Two cliques of size `side` joined by a path of length `bridge_len`.
+[[nodiscard]] graph dumbbell(std::size_t side, std::size_t bridge_len);
+
+}  // namespace rn::graph

@@ -1,0 +1,52 @@
+// Undirected simple graph with CSR-style adjacency, the substrate every radio
+// network in this library runs on. Nodes are dense ids [0, n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rn::graph {
+
+/// Immutable undirected graph. Build with `builder`, then query.
+class graph {
+ public:
+  graph() = default;
+
+  [[nodiscard]] std::size_t node_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  /// Neighbors of v in ascending id order.
+  [[nodiscard]] std::span<const node_id> neighbors(node_id v) const;
+
+  [[nodiscard]] std::size_t degree(node_id v) const;
+
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const;
+
+  /// All edges as (u, v) with u < v.
+  [[nodiscard]] std::vector<std::pair<node_id, node_id>> edges() const;
+
+  /// True iff every node is reachable from node 0.
+  [[nodiscard]] bool connected() const;
+
+  class builder {
+   public:
+    explicit builder(std::size_t n) : n_(n) {}
+    /// Adds the undirected edge {u, v}; duplicates and self-loops ignored.
+    void add_edge(node_id u, node_id v);
+    [[nodiscard]] graph build() &&;
+
+   private:
+    std::size_t n_;
+    std::vector<std::pair<node_id, node_id>> edges_;
+  };
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<node_id> adjacency_;
+};
+
+}  // namespace rn::graph

@@ -1,0 +1,70 @@
+#include "radio/network.h"
+
+#include "common/check.h"
+
+namespace rn::radio {
+
+network::network(const graph::graph& g, model m)
+    : g_(&g), model_(m), erasure_rng_(m.erasure_seed) {
+  RN_REQUIRE(m.erasure_prob >= 0.0 && m.erasure_prob < 1.0,
+             "erasure probability must be in [0, 1)");
+  hit_count_.assign(g.node_count(), 0);
+  last_sender_.assign(g.node_count(), 0);
+  is_transmitting_.assign(g.node_count(), 0);
+  tx_count_.assign(g.node_count(), 0);
+}
+
+std::int64_t network::max_energy() const {
+  std::int64_t best = 0;
+  for (std::int64_t e : tx_count_) best = std::max(best, e);
+  return best;
+}
+
+void network::step(const std::vector<tx>& transmissions,
+                   const rx_callback& on_rx) {
+  stats_.rounds += 1;
+  stats_.transmissions += static_cast<std::int64_t>(transmissions.size());
+
+  // Mark transmitters; a node transmitting twice in one round is a runner bug.
+  for (const auto& t : transmissions) {
+    RN_REQUIRE(t.from < g_->node_count(), "transmitter out of range");
+    RN_REQUIRE(!is_transmitting_[t.from], "node transmitted twice in a round");
+    is_transmitting_[t.from] = 1;
+    tx_count_[t.from] += 1;
+  }
+
+  // Tally transmitting neighbors of every potential listener.
+  for (std::uint32_t i = 0; i < transmissions.size(); ++i) {
+    const node_id u = transmissions[i].from;
+    for (node_id v : g_->neighbors(u)) {
+      if (hit_count_[v] == 0) touched_.push_back(v);
+      hit_count_[v] += 1;
+      last_sender_[v] = i;
+    }
+  }
+
+  // Resolve observations for listeners.
+  for (node_id v : touched_) {
+    if (!is_transmitting_[v]) {
+      if (hit_count_[v] == 1) {
+        if (model_.erasure_prob > 0.0 &&
+            erasure_rng_.bernoulli(model_.erasure_prob)) {
+          stats_.erasures += 1;  // decoding failed; observed as silence
+        } else {
+          const auto& t = transmissions[last_sender_[v]];
+          stats_.deliveries += 1;
+          if (on_rx) on_rx({v, observation::message, &t.pkt, t.from});
+        }
+      } else if (model_.collision_detection) {
+        stats_.collisions_observed += 1;
+        if (on_rx) on_rx({v, observation::collision, nullptr, no_node});
+      }
+      // Without CD, >=2 transmitters is indistinguishable from silence.
+    }
+    hit_count_[v] = 0;
+  }
+  touched_.clear();
+  for (const auto& t : transmissions) is_transmitting_[t.from] = 0;
+}
+
+}  // namespace rn::radio

@@ -1,0 +1,104 @@
+// Synchronous radio-network round engine (paper section 1.1 model).
+//
+// Each round, every node either transmits one packet or listens. A listening
+// node v:
+//   - receives packet p  iff exactly one neighbor of v transmits (p is that
+//     neighbor's packet);
+//   - observes `collision` iff >= 2 neighbors transmit AND the network model
+//     has collision detection; without CD it observes `silence`;
+//   - observes `silence`  iff no neighbor transmits.
+// Transmitters observe nothing (half-duplex radios).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "radio/packet.h"
+
+namespace rn::radio {
+
+/// What a listening node observes in one round.
+enum class observation : std::uint8_t { silence, message, collision };
+
+/// Delivered to the per-round receive callback for every node that observed
+/// something other than silence (and, optionally, silence itself).
+struct reception {
+  node_id listener = no_node;
+  observation what = observation::silence;
+  const packet* pkt = nullptr;  ///< valid iff what == message
+  node_id from = no_node;       ///< valid iff what == message
+};
+
+/// Static model configuration.
+struct model {
+  bool collision_detection = true;
+  /// Independent per-reception erasure probability (0 = the paper's reliable
+  /// channel). An erased single-transmitter reception is observed as
+  /// silence; collisions are unaffected. Used for robustness testing beyond
+  /// the paper's model.
+  double erasure_prob = 0.0;
+  std::uint64_t erasure_seed = 0x5eedULL;
+};
+
+/// Cumulative counters, cheap enough to always maintain.
+struct network_stats {
+  std::int64_t rounds = 0;
+  std::int64_t transmissions = 0;
+  std::int64_t deliveries = 0;          ///< successful single-sender receptions
+  std::int64_t collisions_observed = 0; ///< listener-side collision events (CD only counts observable ones)
+  std::int64_t erasures = 0;            ///< receptions lost to channel erasure
+};
+
+/// The round engine. Protocol runners provide, per round, the list of
+/// transmitting nodes with their packets; the engine resolves the channel and
+/// reports receptions via callback.
+class network {
+ public:
+  network(const graph::graph& g, model m);
+
+  [[nodiscard]] const graph::graph& topology() const { return *g_; }
+  [[nodiscard]] const model& config() const { return model_; }
+  [[nodiscard]] std::size_t node_count() const { return g_->node_count(); }
+  [[nodiscard]] const network_stats& stats() const { return stats_; }
+  [[nodiscard]] round_t now() const { return stats_.rounds; }
+
+  /// Per-node transmission counts — the energy metric of radio networks.
+  [[nodiscard]] const std::vector<std::int64_t>& energy() const {
+    return tx_count_;
+  }
+  [[nodiscard]] std::int64_t max_energy() const;
+
+  /// One transmission in the current round.
+  struct tx {
+    node_id from;
+    packet pkt;
+  };
+
+  using rx_callback = std::function<void(const reception&)>;
+
+  /// Executes one synchronous round: every node in `transmissions` transmits
+  /// its packet, everyone else listens. `on_rx` is invoked for every listener
+  /// that observes a message or (in the CD model) a collision. Listeners that
+  /// observe silence get no callback (silence carries no information in the
+  /// no-CD model, and in the CD model protocols in this library never act on
+  /// it round-by-round; they act on its absence, which they infer from their
+  /// own state).
+  void step(const std::vector<tx>& transmissions, const rx_callback& on_rx);
+
+ private:
+  const graph::graph* g_;
+  model model_;
+  network_stats stats_;
+  rng erasure_rng_;
+  std::vector<std::int64_t> tx_count_;
+  std::vector<std::uint32_t> hit_count_;   // transmitting-neighbor count
+  std::vector<std::uint32_t> last_sender_; // index into transmissions
+  std::vector<char> is_transmitting_;
+  std::vector<node_id> touched_;
+};
+
+}  // namespace rn::radio

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "baseline/decay.h"
+#include "core/single_broadcast.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace rn::core {
+namespace {
+
+class DecayFamilyTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecayFamilyTest, ClassicDecayCompletes) {
+  const auto [family, seed] = GetParam();
+  graph::graph g;
+  switch (family) {
+    case 0: g = graph::path(20); break;
+    case 1: g = graph::clique_chain(4, 5); break;
+    case 2: g = graph::random_gnp_connected(40, 0.12, static_cast<std::uint64_t>(seed)); break;
+    default: g = graph::grid(5, 6); break;
+  }
+  baseline::decay_options opt;
+  opt.seed = static_cast<std::uint64_t>(seed) * 31 + 1;
+  const auto res = baseline::run_decay_broadcast(g, 0, opt);
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.rounds_to_complete, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecayFamilyTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(1, 6)));
+
+TEST(Decay, TunedDecayCompletes) {
+  graph::layered_options lo;
+  lo.depth = 16;
+  lo.width = 4;
+  lo.edge_prob = 0.5;
+  lo.seed = 2;
+  const auto g = graph::random_layered(lo);
+  baseline::tuned_decay_options opt;
+  opt.seed = 5;
+  const auto res = baseline::run_tuned_decay_broadcast(g, 0, opt);
+  EXPECT_TRUE(res.completed);
+}
+
+class LeveledDecayMmvTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(LeveledDecayMmvTest, Lemma32CompletesEvenUnderNoise) {
+  // Lemma 3.2: the leveled Decay schedule is MMV — it completes even when
+  // prompted uninformed nodes jam.
+  const auto [seed, mmv] = GetParam();
+  graph::layered_options lo;
+  lo.depth = 10;
+  lo.width = 5;
+  lo.edge_prob = 0.4;
+  lo.seed = static_cast<std::uint64_t>(seed) * 7;
+  const auto g = graph::random_layered(lo);
+  const auto levels = graph::bfs(g, 0).level;
+  baseline::leveled_decay_options opt;
+  opt.seed = static_cast<std::uint64_t>(seed);
+  opt.mmv_noise = mmv;
+  const auto res = baseline::run_leveled_decay_broadcast(g, 0, levels, opt);
+  EXPECT_TRUE(res.completed) << "seed=" << seed << " mmv=" << mmv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LeveledDecayMmvTest,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Bool()));
+
+TEST(KnownSingle, CompletesOnFamilies) {
+  for (int family = 0; family < 3; ++family) {
+    graph::graph g;
+    switch (family) {
+      case 0: g = graph::path(30); break;
+      case 1: g = graph::grid(5, 8); break;
+      default: g = graph::clique_chain(5, 4); break;
+    }
+    single_broadcast_options opt;
+    opt.seed = 11 + static_cast<std::uint64_t>(family);
+    const auto res = run_known_single_broadcast(g, 0, opt);
+    EXPECT_TRUE(res.completed) << "family " << family;
+  }
+}
+
+class Theorem11Test : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(Theorem11Test, UnknownTopologyCdBroadcastCompletes) {
+  const auto [seed, multi_ring] = GetParam();
+  graph::layered_options lo;
+  lo.depth = multi_ring ? 12 : 5;
+  lo.width = 4;
+  lo.edge_prob = 0.4;
+  lo.seed = static_cast<std::uint64_t>(seed) * 41;
+  const auto g = graph::random_layered(lo);
+  single_broadcast_options opt;
+  opt.seed = static_cast<std::uint64_t>(seed);
+  opt.prm = params::fast();
+  if (multi_ring) opt.prm.ring_divisor = 3.0;  // force several rings
+  const auto res = run_unknown_cd_single_broadcast(g, 0, opt);
+  EXPECT_TRUE(res.completed) << "seed=" << seed << " rings=" << multi_ring;
+  ASSERT_EQ(res.phase_rounds.size(), 4u);
+  EXPECT_STREQ(res.phase_rounds[0].first, "bfs_wave");
+  // Wave phase is exactly D rounds.
+  EXPECT_EQ(res.phase_rounds[0].second, static_cast<round_t>(lo.depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem11Test,
+                         ::testing::Combine(::testing::Range(1, 7),
+                                            ::testing::Bool()));
+
+TEST(Theorem11, SetupProducesValidForests) {
+  graph::layered_options lo;
+  lo.depth = 12;
+  lo.width = 4;
+  lo.edge_prob = 0.4;
+  lo.seed = 77;
+  const auto g = graph::random_layered(lo);
+  single_broadcast_options opt;
+  opt.seed = 3;
+  opt.prm = params::fast();
+  opt.prm.ring_divisor = 3.0;
+  const auto setup = prepare_unknown_topology(g, 0, opt);
+  EXPECT_GE(setup.rings.rings.size(), 2u);
+  EXPECT_EQ(setup.unlabeled, 0u);
+  for (std::size_t j = 0; j < setup.forests.size(); ++j) {
+    const auto errs = validate_gst(g, setup.forests[j]);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs.front());
+    // Virtual distances must exist for every member.
+    for (node_id v = 0; v < g.node_count(); ++v)
+      if (setup.forests[j].member[v])
+        EXPECT_NE(setup.derived[j].virtual_distance[v], no_level);
+  }
+}
+
+TEST(Theorem11, PhaseAccountingAddsUp) {
+  const auto g = graph::grid(4, 6);
+  single_broadcast_options opt;
+  opt.seed = 5;
+  opt.prm = params::fast();
+  const auto res = run_unknown_cd_single_broadcast(g, 0, opt);
+  round_t sum = 0;
+  for (const auto& [name, r] : res.phase_rounds) sum += r;
+  EXPECT_EQ(sum, res.rounds_executed);
+}
+
+}  // namespace
+}  // namespace rn::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/gst.h"
+#include "core/gst_centralized.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace rn::core {
+namespace {
+
+TEST(RankedBfs, PathRanksAreAllOne) {
+  const auto g = graph::path(6);
+  const auto t = ranked_bfs(g, 0);
+  for (node_id v = 0; v < 6; ++v) EXPECT_EQ(t.rank[v], 1);
+}
+
+TEST(RankedBfs, StarHubRankTwo) {
+  const auto g = graph::star(5);
+  const auto t = ranked_bfs(g, 0);
+  EXPECT_EQ(t.rank[0], 2);  // >= 2 rank-1 children
+  for (node_id v = 1; v < 5; ++v) EXPECT_EQ(t.rank[v], 1);
+}
+
+TEST(RankedBfs, BinaryTreeRankIsHeightLog) {
+  const auto g = graph::binary_tree(31);  // complete depth-4 tree
+  const auto t = ranked_bfs(g, 0);
+  EXPECT_EQ(t.rank[0], 5);  // rank grows by 1 per perfect level
+  EXPECT_LE(t.max_rank(), static_cast<rank_t>(ceil_log2(31)) + 1);
+}
+
+TEST(ComputeRanks, RuleOnHandTree) {
+  // 0 -> {1,2}; 1 -> {3}; ranks: 3:1, 2:1, 1:1 (one child at max), 0:2.
+  graph::graph::builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  const auto g = std::move(b).build();
+  const auto t = ranked_bfs(g, 0);
+  EXPECT_EQ(t.rank[3], 1);
+  EXPECT_EQ(t.rank[1], 1);
+  EXPECT_EQ(t.rank[2], 1);
+  EXPECT_EQ(t.rank[0], 2);
+}
+
+TEST(Validate, AcceptsValidTree) {
+  const auto g = graph::path(5);
+  const auto t = ranked_bfs(g, 0);
+  EXPECT_TRUE(validate_gst(g, t).empty());
+}
+
+TEST(Validate, DetectsWrongRank) {
+  const auto g = graph::path(5);
+  auto t = ranked_bfs(g, 0);
+  t.rank[2] = 3;
+  const auto errs = validate_gst(g, t);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("ranking rule"), std::string::npos);
+}
+
+TEST(Validate, DetectsBadParentLevel) {
+  const auto g = graph::complete(4);
+  auto t = ranked_bfs(g, 0);
+  t.parent[3] = 2;  // 2 is at the same level as 3 in a K4 BFS from 0
+  t.level[3] = t.level[2] + 1;
+  EXPECT_FALSE(validate_gst(g, t).empty());
+}
+
+TEST(Validate, DetectsNonTreeEdgeParent) {
+  const auto g = graph::path(4);
+  auto t = ranked_bfs(g, 0);
+  t.parent[3] = 1;  // 1-3 is not an edge
+  EXPECT_FALSE(validate_gst(g, t).empty());
+}
+
+TEST(Validate, DetectsCollisionFreenessViolation) {
+  // Figure-1 style: two same-rank parents v1=1, v2=2 at level 1, each with a
+  // same-rank child (3 resp. 4), plus the violating cross edge 1-4.
+  // To force ranks: each of 1 and 2 also needs its child to have rank 1 and
+  // exactly one of them, so rank(1)=rank(3)=1 requires nothing extra.
+  graph::graph::builder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 4);
+  b.add_edge(1, 4);  // cross edge
+  const auto g = std::move(b).build();
+  gst t;
+  t.roots = {0};
+  t.member.assign(5, 1);
+  t.level = {0, 1, 1, 2, 2};
+  t.parent = {no_node, 0, 0, 1, 2};
+  t.rank.assign(5, no_rank);
+  t.rank = compute_ranks(t);
+  ASSERT_EQ(t.rank[1], t.rank[4]);  // both rank 1: M-edges (1,3) and (2,4)
+  const auto errs = validate_gst(g, t);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("collision-freeness"), std::string::npos);
+}
+
+TEST(Derive, StretchChainOnPath) {
+  const auto g = graph::path(5);
+  const auto t = ranked_bfs(g, 0);
+  const auto d = derive(g, t);
+  EXPECT_TRUE(d.is_stretch_head[0]);
+  for (node_id v = 0; v < 4; ++v) EXPECT_EQ(d.stretch_child[v], v + 1);
+  EXPECT_EQ(d.stretch_child[4], no_node);
+  for (node_id v = 1; v < 5; ++v) EXPECT_FALSE(d.is_stretch_head[v]);
+}
+
+TEST(Derive, VirtualDistanceUsesFastEdges) {
+  // On a path the whole tree is one stretch: everything is at vdist <= 2.
+  const auto g = graph::path(9);
+  const auto t = ranked_bfs(g, 0);
+  const auto d = derive(g, t);
+  EXPECT_EQ(d.virtual_distance[0], 0);
+  for (node_id v = 1; v < 9; ++v) EXPECT_EQ(d.virtual_distance[v], 1);
+}
+
+class VdistBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VdistBoundTest, Lemma34Bound) {
+  // Lemma 3.4: du <= 2 ceil(log2 n) (+1 slack for the multi-stretch hop off
+  // the root stretch).
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  graph::layered_options lo;
+  lo.depth = 10;
+  lo.width = 6;
+  lo.edge_prob = 0.35;
+  lo.seed = seed;
+  const auto g = graph::random_layered(lo);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  const level_t bound =
+      2 * static_cast<level_t>(ceil_log2(g.node_count())) + 1;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    ASSERT_NE(d.virtual_distance[v], no_level) << "node " << v;
+    EXPECT_LE(d.virtual_distance[v], bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VdistBoundTest, ::testing::Range(1, 13));
+
+TEST(Derive, MultiRootForest) {
+  const auto g = graph::path(6);
+  gst t;
+  t.roots = {0, 5};
+  t.member.assign(6, 1);
+  t.level = {0, 1, 2, 2, 1, 0};
+  t.parent = {no_node, 0, 1, 4, 5, no_node};
+  t.rank.assign(6, no_rank);
+  t.rank = compute_ranks(t);
+  EXPECT_TRUE(validate_gst(g, t).empty());
+  const auto d = derive(g, t);
+  EXPECT_EQ(d.virtual_distance[0], 0);
+  EXPECT_EQ(d.virtual_distance[5], 0);
+}
+
+TEST(Gst, MemberCountAndMax) {
+  const auto g = graph::star(6);
+  const auto t = ranked_bfs(g, 0);
+  EXPECT_EQ(t.member_count(), 6u);
+  EXPECT_EQ(t.max_level(), 1);
+  EXPECT_EQ(t.max_rank(), 2);
+}
+
+}  // namespace
+}  // namespace rn::core

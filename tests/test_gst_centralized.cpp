@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/gst.h"
+#include "core/gst_centralized.h"
+#include "core/rings.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace rn::core {
+namespace {
+
+void expect_valid(const graph::graph& g, const gst& t) {
+  const auto errs = validate_gst(g, t);
+  EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs.front());
+}
+
+TEST(Centralized, Path) { expect_valid(graph::path(12), build_gst_centralized(graph::path(12), 0)); }
+TEST(Centralized, Star) { expect_valid(graph::star(12), build_gst_centralized(graph::star(12), 0)); }
+TEST(Centralized, Complete) {
+  const auto g = graph::complete(10);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+TEST(Centralized, Cycle) {
+  const auto g = graph::cycle(15);
+  expect_valid(g, build_gst_centralized(g, 3));
+}
+TEST(Centralized, Grid) {
+  const auto g = graph::grid(6, 7);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+TEST(Centralized, BinaryTree) {
+  const auto g = graph::binary_tree(63);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+TEST(Centralized, Caterpillar) {
+  const auto g = graph::caterpillar(8, 4);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+TEST(Centralized, CliqueChain) {
+  const auto g = graph::clique_chain(5, 6);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+TEST(Centralized, Dumbbell) {
+  const auto g = graph::dumbbell(8, 5);
+  expect_valid(g, build_gst_centralized(g, 0));
+}
+
+TEST(Centralized, CoversAllReachableNodes) {
+  const auto g = graph::grid(5, 5);
+  const auto t = build_gst_centralized(g, 12);
+  EXPECT_EQ(t.member_count(), 25u);
+}
+
+TEST(Centralized, MaxRankBound) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::random_gnp_connected(60, 0.12, seed);
+    const auto t = build_gst_centralized(g, 0);
+    EXPECT_LE(t.max_rank(), static_cast<rank_t>(ceil_log2(60)) + 1);
+  }
+}
+
+struct Family {
+  const char* name;
+  graph::graph (*make)(std::uint64_t seed);
+};
+
+graph::graph make_layered(std::uint64_t s) {
+  graph::layered_options lo;
+  lo.depth = 7;
+  lo.width = 5;
+  lo.edge_prob = 0.4;
+  lo.intra_prob = 0.2;
+  lo.seed = s;
+  return graph::random_layered(lo);
+}
+graph::graph make_gnp(std::uint64_t s) {
+  return graph::random_gnp_connected(48, 0.12, s);
+}
+graph::graph make_disk(std::uint64_t s) {
+  return graph::random_unit_disk(48, 0.28, s);
+}
+
+class CentralizedPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CentralizedPropertyTest, ValidOnRandomFamilies) {
+  const auto [family, seed] = GetParam();
+  static const Family families[] = {
+      {"layered", make_layered}, {"gnp", make_gnp}, {"disk", make_disk}};
+  const auto g = families[family].make(static_cast<std::uint64_t>(seed));
+  const auto t = build_gst_centralized(g, 0);
+  expect_valid(g, t);
+  // Levels must match true BFS distances.
+  const auto b = graph::bfs(g, 0);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(t.level[v], b.level[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CentralizedPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Range(1, 11)));
+
+class MultiRootTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiRootTest, RingForestsAreValid) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  graph::layered_options lo;
+  lo.depth = 12;
+  lo.width = 4;
+  lo.edge_prob = 0.4;
+  lo.seed = seed;
+  const auto g = graph::random_layered(lo);
+  const auto b = graph::bfs(g, 0);
+  const auto rd = decompose_rings(b.level, 4);
+  ASSERT_GE(rd.rings.size(), 3u);
+  for (const auto& ring : rd.rings) {
+    std::vector<char> mask(g.node_count(), 0);
+    for (node_id v : ring.members) mask[v] = 1;
+    const auto t = build_gst_centralized_multi(g, ring.roots, &mask);
+    const auto errs = validate_gst(g, t);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs.front());
+    EXPECT_EQ(t.member_count(), ring.members.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRootTest, ::testing::Range(1, 9));
+
+TEST(Rings, DecomposeBasics) {
+  std::vector<level_t> levels{0, 1, 1, 2, 3, 4, 5};
+  const auto rd = decompose_rings(levels, 3);
+  ASSERT_EQ(rd.rings.size(), 2u);
+  EXPECT_EQ(rd.rings[0].first_layer, 0);
+  EXPECT_EQ(rd.rings[1].first_layer, 3);
+  EXPECT_EQ(rd.ring_of[4], 1);
+  EXPECT_EQ(rd.rel_level[4], 0);
+  EXPECT_EQ(rd.rings[1].roots.size(), 1u);
+  EXPECT_EQ(rd.rings[0].depth, 2);
+}
+
+TEST(Rings, WidthClamp) {
+  EXPECT_EQ(ring_width_for(100, 0.0), 101);  // single ring
+  EXPECT_EQ(ring_width_for(100, 10.0), 10);
+  EXPECT_EQ(ring_width_for(100, 1000.0), 3);  // clamped to >= 3 [DEV-6]
+  EXPECT_EQ(ring_width_for(4, 2.0), 3);
+}
+
+}  // namespace
+}  // namespace rn::core

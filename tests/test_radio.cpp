@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "radio/network.h"
+#include "radio/result.h"
+
+namespace rn::radio {
+namespace {
+
+using graph::path;
+using graph::star;
+
+packet beacon(node_id v) { return packet::make_beacon(v); }
+
+struct observed {
+  std::map<node_id, observation> what;
+  std::map<node_id, node_id> from;
+};
+
+observed run_round(network& net, const std::vector<network::tx>& txs) {
+  observed o;
+  net.step(txs, [&](const reception& rx) {
+    o.what[rx.listener] = rx.what;
+    if (rx.what == observation::message) o.from[rx.listener] = rx.from;
+  });
+  return o;
+}
+
+TEST(Network, SingleTransmitterDelivers) {
+  const auto g = path(3);  // 0-1-2
+  network net(g, {.collision_detection = true});
+  const auto o = run_round(net, {{1, beacon(1)}});
+  EXPECT_EQ(o.what.at(0), observation::message);
+  EXPECT_EQ(o.what.at(2), observation::message);
+  EXPECT_EQ(o.from.at(0), 1u);
+}
+
+TEST(Network, TwoTransmittersCollideWithCd) {
+  const auto g = star(4);  // hub 0, leaves 1..3
+  network net(g, {.collision_detection = true});
+  const auto o = run_round(net, {{1, beacon(1)}, {2, beacon(2)}});
+  EXPECT_EQ(o.what.at(0), observation::collision);
+  EXPECT_EQ(o.what.count(3), 0u);  // leaf 3 has no transmitting neighbor
+}
+
+TEST(Network, TwoTransmittersSilentWithoutCd) {
+  const auto g = star(4);
+  network net(g, {.collision_detection = false});
+  const auto o = run_round(net, {{1, beacon(1)}, {2, beacon(2)}});
+  EXPECT_EQ(o.what.count(0), 0u);  // indistinguishable from silence
+}
+
+TEST(Network, TransmitterDoesNotHear) {
+  const auto g = path(2);
+  network net(g, {.collision_detection = true});
+  const auto o = run_round(net, {{0, beacon(0)}, {1, beacon(1)}});
+  // Both transmit; neither receives anything (half duplex).
+  EXPECT_TRUE(o.what.empty());
+}
+
+TEST(Network, NonNeighborUnaffected) {
+  const auto g = path(4);  // 0-1-2-3
+  network net(g, {.collision_detection = true});
+  const auto o = run_round(net, {{0, beacon(0)}});
+  EXPECT_EQ(o.what.count(2), 0u);
+  EXPECT_EQ(o.what.count(3), 0u);
+}
+
+TEST(Network, CollisionThenCleanRound) {
+  const auto g = star(4);
+  network net(g, {.collision_detection = true});
+  run_round(net, {{1, beacon(1)}, {2, beacon(2)}});
+  const auto o = run_round(net, {{3, beacon(3)}});
+  EXPECT_EQ(o.what.at(0), observation::message);
+  EXPECT_EQ(o.from.at(0), 3u);
+}
+
+TEST(Network, DoubleTransmitIsContractError) {
+  const auto g = path(2);
+  network net(g, {.collision_detection = true});
+  std::vector<network::tx> txs{{0, beacon(0)}, {0, beacon(0)}};
+  EXPECT_THROW(net.step(txs, nullptr), contract_error);
+}
+
+TEST(Network, StatsCount) {
+  const auto g = star(5);
+  network net(g, {.collision_detection = true});
+  run_round(net, {{1, beacon(1)}, {2, beacon(2)}});  // collision at hub
+  run_round(net, {{1, beacon(1)}});                  // delivery to hub
+  run_round(net, {});                                // silence
+  EXPECT_EQ(net.stats().rounds, 3);
+  EXPECT_EQ(net.stats().transmissions, 3);
+  EXPECT_EQ(net.stats().deliveries, 1);
+  EXPECT_EQ(net.stats().collisions_observed, 1);
+}
+
+TEST(Network, PacketContentRoundTrips) {
+  const auto g = path(2);
+  network net(g, {.collision_detection = true});
+  auto body = std::make_shared<packet_body>();
+  body->data = {1, 2, 3};
+  packet p = packet::make_data(7, body);
+  packet received;
+  net.step({{0, p}}, [&](const reception& rx) {
+    ASSERT_EQ(rx.what, observation::message);
+    received = *rx.pkt;
+  });
+  EXPECT_EQ(received.kind, packet_kind::data);
+  EXPECT_EQ(received.a, 7u);
+  EXPECT_EQ(received.body->data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, PacketFactories) {
+  EXPECT_EQ(packet::make_pair(3, 4).kind, packet_kind::pair);
+  EXPECT_EQ(packet::make_pair(3, 4).a, 3u);
+  EXPECT_EQ(packet::make_pair(3, 4).b, 4u);
+  EXPECT_EQ(packet::make_sigma(2).a, 2u);
+  EXPECT_EQ(packet::make_rank(5, 3).x, 3u);
+  EXPECT_EQ(packet::make_noise().kind, packet_kind::noise);
+  EXPECT_EQ(packet::make_ack(1, 2).b, 2u);
+}
+
+TEST(Network, EnergyAccounting) {
+  const auto g = path(3);
+  network net(g, {.collision_detection = true});
+  run_round(net, {{0, beacon(0)}, {1, beacon(1)}});
+  run_round(net, {{1, beacon(1)}});
+  EXPECT_EQ(net.energy()[0], 1);
+  EXPECT_EQ(net.energy()[1], 2);
+  EXPECT_EQ(net.energy()[2], 0);
+  EXPECT_EQ(net.max_energy(), 2);
+}
+
+TEST(CompletionTracker, Basics) {
+  completion_tracker t(3);
+  EXPECT_FALSE(t.all_done());
+  t.mark(0);
+  t.mark(0);  // idempotent
+  t.exclude(1);
+  EXPECT_EQ(t.remaining(), 1u);
+  t.mark(2);
+  EXPECT_TRUE(t.all_done());
+  t.observe_round(17);
+  t.observe_round(20);
+  EXPECT_EQ(t.first_complete_round(), 17);
+}
+
+}  // namespace
+}  // namespace rn::radio

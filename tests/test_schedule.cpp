@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "core/gst.h"
+#include "core/gst_broadcast.h"
+#include "core/gst_centralized.h"
+#include "core/schedule.h"
+#include "graph/generators.h"
+
+namespace rn::core {
+namespace {
+
+TEST(Schedule, FastSlotsOnlyForStretchParents) {
+  const auto g = graph::star(6);  // hub rank 2, leaves rank 1: no stretches
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_schedule sched(t, d, g.node_count());
+  rng r(1);
+  for (round_t tt = 0; tt < 200; tt += 2)
+    for (node_id v = 0; v < 6; ++v)
+      EXPECT_NE(sched.query(v, tt, r), gst_schedule::action::fast);
+}
+
+TEST(Schedule, FastPeriodicityOnPath) {
+  const auto g = graph::path(8);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_schedule sched(t, d, g.node_count());
+  rng r(1);
+  // Node v (level v, rank 1) fires fast iff t == 2(v + 3) mod 6L.
+  const round_t period = sched.fast_period();
+  for (node_id v = 0; v + 1 < 8; ++v) {  // 7 is the stretch tail: never fast
+    std::set<round_t> fires;
+    for (round_t tt = 0; tt < 4 * period; ++tt)
+      if (sched.query(v, tt, r) == gst_schedule::action::fast)
+        fires.insert(tt % period);
+    ASSERT_EQ(fires.size(), 1u) << "node " << v;
+    EXPECT_EQ(*fires.begin(), (2 * (static_cast<round_t>(v) + 3)) % period);
+  }
+}
+
+TEST(Schedule, SlowSlotsAreOddAndResidueKeyed) {
+  const auto g = graph::path(6);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_schedule sched(t, d, g.node_count());
+  rng r(2);
+  for (round_t tt = 0; tt < 600; ++tt) {
+    for (node_id v = 0; v < 6; ++v) {
+      const auto a = sched.query(v, tt, r);
+      if (a == gst_schedule::action::slow_prompt) {
+        EXPECT_EQ(tt % 2, 1);
+        const auto key = d.virtual_distance[v];
+        EXPECT_EQ((tt - 1 - 2 * key) % 6, 0);
+      }
+    }
+  }
+}
+
+class FastCollisionFreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastCollisionFreeTest, StretchChildrenAlwaysHearTheirParent) {
+  // Lemma 3.5 (with [DEV-3]): fast transmissions never collide *at their
+  // intended receivers* — every stretch child whose parent fires must have
+  // that parent as its only fast-transmitting neighbor. (Listeners at the
+  // transmitter's own level may legitimately observe collisions.)
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  graph::layered_options lo;
+  lo.depth = 8;
+  lo.width = 5;
+  lo.edge_prob = 0.5;
+  lo.intra_prob = 0.3;
+  lo.seed = seed;
+  const auto g = graph::random_layered(lo);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_schedule sched(t, d, g.node_count());
+  rng r(3);
+  for (round_t tt = 0; tt < 2 * sched.fast_period(); tt += 2) {
+    std::vector<char> fast(g.node_count(), 0);
+    std::vector<node_id> fast_list;
+    for (node_id v = 0; v < g.node_count(); ++v)
+      if (sched.query(v, tt, r) == gst_schedule::action::fast) {
+        fast[v] = 1;
+        fast_list.push_back(v);
+      }
+    for (node_id v : fast_list) {
+      const node_id c = d.stretch_child[v];
+      ASSERT_NE(c, no_node);  // [DEV-3]: only stretch parents fire
+      EXPECT_FALSE(fast[c]);  // the child itself listens in this round
+      int tx_neighbors = 0;
+      for (node_id w : g.neighbors(c)) tx_neighbors += fast[w] ? 1 : 0;
+      EXPECT_EQ(tx_neighbors, 1) << "round " << tt << " child " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastCollisionFreeTest, ::testing::Range(1, 11));
+
+class GstBroadcastTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(GstBroadcastTest, SingleMessageCompletes) {
+  const auto [depth, seed, mmv] = GetParam();
+  graph::layered_options lo;
+  lo.depth = static_cast<std::size_t>(depth);
+  lo.width = 4;
+  lo.edge_prob = 0.4;
+  lo.seed = static_cast<std::uint64_t>(seed);
+  const auto g = graph::random_layered(lo);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_broadcast_options opt;
+  opt.seed = 1000 + static_cast<std::uint64_t>(seed);
+  opt.mmv_noise = mmv;
+  const auto res = run_gst_single_broadcast(g, t, d, {0}, opt);
+  EXPECT_TRUE(res.completed) << "depth=" << depth << " mmv=" << mmv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GstBroadcastTest,
+                         ::testing::Combine(::testing::Values(3, 8, 14),
+                                            ::testing::Values(1, 2, 3, 4),
+                                            ::testing::Bool()));
+
+TEST(GstBroadcast, RespectsExplicitBudget) {
+  const auto g = graph::path(10);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_broadcast_options opt;
+  opt.max_rounds = 7;
+  opt.stop_when_complete = false;
+  const auto res = run_gst_single_broadcast(g, t, d, {0}, opt);
+  EXPECT_EQ(res.rounds_executed, 7);
+}
+
+TEST(GstBroadcast, MultiRootInformedSet) {
+  // Both endpoints of a path start informed; middle gets it fast.
+  const auto g = graph::path(11);
+  gst t;
+  t.roots = {0, 10};
+  t.member.assign(11, 1);
+  t.level.resize(11);
+  t.parent.assign(11, no_node);
+  for (node_id v = 0; v < 11; ++v) t.level[v] = std::min<level_t>(v, 10 - v);
+  for (node_id v = 1; v <= 4; ++v) t.parent[v] = v - 1;
+  t.parent[5] = 4;
+  for (node_id v = 6; v <= 9; ++v) t.parent[v] = v + 1;
+  t.rank = compute_ranks(t);
+  ASSERT_TRUE(validate_gst(g, t).empty());
+  const auto d = derive(g, t);
+  gst_broadcast_options opt;
+  const auto res = run_gst_single_broadcast(g, t, d, {0, 10}, opt);
+  EXPECT_TRUE(res.completed);
+}
+
+TEST(Schedule, ClassicLevelKeyDiffers) {
+  // In the classic ablation the slow key is the level, not vdist.
+  const auto g = graph::path(40);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  gst_schedule vd(t, d, g.node_count(), true);
+  gst_schedule lv(t, d, g.node_count(), false);
+  // Node 30: vdist 1 but level 30; its first possible slow round differs.
+  rng r1(1), r2(1);
+  bool vd_prompted_early = false, lv_prompted_early = false;
+  for (round_t tt = 1; tt < 40; ++tt) {
+    if (vd.query(30, tt, r1) == gst_schedule::action::slow_prompt)
+      vd_prompted_early = true;
+    if (lv.query(30, tt, r2) == gst_schedule::action::slow_prompt)
+      lv_prompted_early = true;
+  }
+  EXPECT_TRUE(vd_prompted_early);   // vdist key: starts at round 3
+  EXPECT_FALSE(lv_prompted_early);  // level key: starts at round 61
+}
+
+}  // namespace
+}  // namespace rn::core

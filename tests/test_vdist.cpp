@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/gst.h"
+#include "core/gst_centralized.h"
+#include "core/virtual_distance.h"
+#include "graph/generators.h"
+
+namespace rn::core {
+namespace {
+
+// Runs the distributed labeling protocol on a centrally built (hence
+// known-valid) GST and compares against the centrally computed distances.
+class VdistAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VdistAgreementTest, LabelsEqualTrueVirtualDistances) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  graph::layered_options lo;
+  lo.depth = 7;
+  lo.width = 4;
+  lo.edge_prob = 0.45;
+  lo.intra_prob = 0.2;
+  lo.seed = seed * 13;
+  const auto g = graph::random_layered(lo);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+
+  // Local knowledge as the distributed construction would provide it.
+  std::vector<rank_t> parent_rank(g.node_count(), no_rank);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    if (t.parent[v] != no_node) parent_rank[v] = t.rank[t.parent[v]];
+
+  const auto lab = run_vdist_labeling(g, t, parent_rank, d.stretch_child,
+                                      g.node_count(), params::paper(), seed);
+  EXPECT_EQ(lab.unlabeled, 0u);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(lab.vdist[v], d.virtual_distance[v]) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VdistAgreementTest, ::testing::Range(1, 13));
+
+TEST(Vdist, PathIsOneFastHop) {
+  const auto g = graph::path(12);
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  std::vector<rank_t> parent_rank(g.node_count(), no_rank);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    if (t.parent[v] != no_node) parent_rank[v] = t.rank[t.parent[v]];
+  const auto lab = run_vdist_labeling(g, t, parent_rank, d.stretch_child,
+                                      g.node_count(), params::paper(), 3);
+  EXPECT_EQ(lab.vdist[0], 0);
+  for (node_id v = 1; v < 12; ++v) EXPECT_EQ(lab.vdist[v], 1);
+}
+
+TEST(Vdist, StarIsGraphDistance) {
+  const auto g = graph::star(9);  // no stretches at all
+  const auto t = build_gst_centralized(g, 0);
+  const auto d = derive(g, t);
+  std::vector<rank_t> parent_rank(g.node_count(), no_rank);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    if (t.parent[v] != no_node) parent_rank[v] = t.rank[t.parent[v]];
+  const auto lab = run_vdist_labeling(g, t, parent_rank, d.stretch_child,
+                                      g.node_count(), params::paper(), 4);
+  EXPECT_EQ(lab.vdist[0], 0);
+  for (node_id v = 1; v < 9; ++v) EXPECT_EQ(lab.vdist[v], 1);
+}
+
+}  // namespace
+}  // namespace rn::core
