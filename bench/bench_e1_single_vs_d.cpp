@@ -1,87 +1,9 @@
-// E1 — single-message broadcast rounds vs diameter D at (roughly) fixed n.
-//
-// Claim under test (Theorem 1.1 vs prior work): GST-based algorithms have an
-// *additive* dependence on D (slope ~constant rounds per hop) while
-// Decay-style algorithms pay a multiplicative ~log n per hop. The Theorem 1.1
-// pipeline's one-time setup (wave + construction + labeling) is reported
-// separately from its dissemination phase.
-#include <iostream>
+// E1 — single-message broadcast rounds vs diameter D (thin wrapper; the
+// experiment definition lives in experiments/e1_single_vs_d.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "core/api.h"
-#include "core/single_broadcast.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header(
-      "E1: single-message rounds vs D",
-      "GST algorithms: additive D; Decay baselines: ~D log n", "fast");
-  const int reps = 5;
-  const std::size_t total_width = 240;
-
-  text_table table({"D", "width", "n", "decay", "tuned", "gst_known",
-                    "thm1.1_bcast", "thm1.1_setup"});
-  double first_decay = 0, last_decay = 0, first_gst = 0, last_gst = 0;
-  int first_d = 0, last_d = 0;
-  for (int d : {8, 12, 24, 40, 60}) {
-    const std::size_t width = total_width / static_cast<std::size_t>(d);
-    graph::layered_options lo;
-    lo.depth = static_cast<std::size_t>(d);
-    lo.width = width;
-    lo.edge_prob = 0.4;
-    auto make = [&](std::uint64_t seed) {
-      lo.seed = seed * 101;
-      return graph::random_layered(lo);
-    };
-    auto run = [&](core::single_algorithm alg) {
-      return bench::mean_over_seeds(reps, [&](std::uint64_t seed) {
-        const auto g = make(seed);
-        core::run_options opt;
-        opt.seed = seed;
-        opt.prm = core::params::fast();
-        return static_cast<double>(
-            core::run_single(g, 0, alg, opt).rounds_to_complete);
-      });
-    };
-    const double decay = run(core::single_algorithm::decay);
-    const double tuned = run(core::single_algorithm::tuned_decay);
-    const double gst = run(core::single_algorithm::gst_known);
-    // Theorem 1.1: separate setup (one-time) from dissemination.
-    double bcast = 0, setup = 0;
-    const int reps11 = 2;  // the Thm 1.1 pipeline simulates millions of rounds
-    for (int i = 1; i <= reps11; ++i) {
-      const auto g = make(static_cast<std::uint64_t>(i));
-      core::single_broadcast_options opt;
-      opt.seed = static_cast<std::uint64_t>(i);
-      opt.prm = core::params::fast();
-      const auto res = core::run_unknown_cd_single_broadcast(g, 0, opt);
-      round_t s = 0;
-      for (const auto& [name, r] : res.phase_rounds)
-        if (std::string(name) != "ring_relay") s += r;
-      setup += static_cast<double>(s) / reps11;
-      bcast += static_cast<double>(res.rounds_to_complete - s) / reps11;
-    }
-    table.add_row({std::to_string(d), std::to_string(width),
-                   std::to_string(1 + d * width), text_table::num(decay),
-                   text_table::num(tuned), text_table::num(gst),
-                   text_table::num(bcast), text_table::num(setup)});
-    if (first_d == 0) {
-      first_d = d;
-      first_decay = decay;
-      first_gst = gst;
-    }
-    last_d = d;
-    last_decay = decay;
-    last_gst = gst;
-  }
-  table.print(std::cout);
-  const double slope_decay = (last_decay - first_decay) / (last_d - first_d);
-  const double slope_gst = (last_gst - first_gst) / (last_d - first_d);
-  std::cout << "\nmarginal rounds per hop:  decay " << text_table::num(slope_decay, 2)
-            << "   gst_known " << text_table::num(slope_gst, 2)
-            << "   (expected: decay >> gst_known; gst slope ~2-3 = fast-"
-               "transmission pipelining)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e1");
 }

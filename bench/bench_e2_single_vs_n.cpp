@@ -1,42 +1,9 @@
-// E2 — single-message broadcast rounds vs n at fixed diameter.
-//
-// Claim: at fixed D, all algorithms grow polylogarithmically in n; the
-// GST-based broadcast stays near its D-dominated floor.
-#include <iostream>
+// E2 — single-message broadcast rounds vs n (thin wrapper; the experiment
+// definition lives in experiments/e2_single_vs_n.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "core/api.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header("E2: single-message rounds vs n (fixed D = 12)",
-                      "polylog growth in n for every algorithm", "fast");
-  const int reps = 5;
-  text_table table({"n", "width", "decay", "tuned", "gst_known"});
-  for (std::size_t width : {2, 4, 8, 16, 32, 64}) {
-    graph::layered_options lo;
-    lo.depth = 12;
-    lo.width = width;
-    lo.edge_prob = 0.4;
-    auto run = [&](core::single_algorithm alg) {
-      return bench::mean_over_seeds(reps, [&](std::uint64_t seed) {
-        lo.seed = seed * 31;
-        const auto g = graph::random_layered(lo);
-        core::run_options opt;
-        opt.seed = seed;
-        opt.prm = core::params::fast();
-        return static_cast<double>(
-            core::run_single(g, 0, alg, opt).rounds_to_complete);
-      });
-    };
-    table.add_row({std::to_string(1 + 12 * width), std::to_string(width),
-                   text_table::num(run(core::single_algorithm::decay)),
-                   text_table::num(run(core::single_algorithm::tuned_decay)),
-                   text_table::num(run(core::single_algorithm::gst_known))});
-  }
-  table.print(std::cout);
-  std::cout << "\n(n grows 32x; rounds should grow only a few-fold)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e2");
 }

@@ -1,68 +1,9 @@
-// E3 — k-message broadcast rounds vs k (Theorems 1.2/1.3 vs baselines).
-//
-// Claims: RLNC over the MMV-GST schedule pays ~log n-scale rounds per extra
-// message; sequential Decay pays ~D log n per message; random routing sits in
-// between with a coupon-collector tail. Theorem 1.3's one-time setup is
-// reported separately.
-#include <iostream>
+// E3 — k-message broadcast rounds vs k (thin wrapper; the experiment
+// definition lives in experiments/e3_multi_vs_k.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "core/api.h"
-#include "core/multi_broadcast.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header(
-      "E3: k-message rounds vs k (layered graph, D = 16, n = 81)",
-      "Thm 1.2/1.3: ~k log n; sequential baseline: ~k D log n", "fast");
-  const int reps = 3;
-  graph::layered_options lo;
-  lo.depth = 16;
-  lo.width = 5;
-  lo.edge_prob = 0.4;
-
-  text_table table({"k", "seq_decay", "routing", "rlnc_known(1.2)",
-                    "rlnc_unknown(1.3)", "thm1.3_setup"});
-  for (std::size_t k : {2, 4, 8, 16, 32}) {
-    auto run = [&](core::multi_algorithm alg) {
-      return bench::mean_over_seeds(reps, [&](std::uint64_t seed) {
-        lo.seed = seed * 71;
-        const auto g = graph::random_layered(lo);
-        core::run_options opt;
-        opt.seed = seed;
-        opt.prm = core::params::fast();
-        return static_cast<double>(
-            core::run_multi(g, 0, k, alg, opt).rounds_to_complete);
-      });
-    };
-    const double seq = run(core::multi_algorithm::sequential_decay);
-    const double routing = run(core::multi_algorithm::routing);
-    const double known = run(core::multi_algorithm::rlnc_known);
-    double unknown_bcast = 0, setup = 0;
-    for (int i = 1; i <= reps; ++i) {
-      lo.seed = static_cast<std::uint64_t>(i) * 71;
-      const auto g = graph::random_layered(lo);
-      core::multi_broadcast_options opt;
-      opt.seed = static_cast<std::uint64_t>(i);
-      opt.prm = core::params::fast();
-      opt.payload_size = 16;
-      const auto msgs = coding::make_test_messages(k, 16, 7);
-      const auto res = core::run_unknown_cd_multi_broadcast(g, 0, msgs, opt);
-      round_t s = 0;
-      for (const auto& [name, r] : res.base.phase_rounds)
-        if (std::string(name) != "batch_pipeline") s += r;
-      setup += static_cast<double>(s) / reps;
-      unknown_bcast +=
-          static_cast<double>(res.base.rounds_to_complete - s) / reps;
-    }
-    table.add_row({std::to_string(k), text_table::num(seq),
-                   text_table::num(routing), text_table::num(known),
-                   text_table::num(unknown_bcast), text_table::num(setup)});
-  }
-  table.print(std::cout);
-  std::cout << "\n(per-message slope: seq ~D log n; rlnc ~6 log n, "
-               "independent of D)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e3");
 }

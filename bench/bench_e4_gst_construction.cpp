@@ -1,61 +1,9 @@
-// E4 — distributed GST construction cost (Theorem 2.1) and the pipelining
-// ablation (section 2.2.4).
-//
-// Claims: construction rounds grow linearly in D; the pipelined schedule
-// replaces the (depth x rank) slot product with a sum (asymptotically
-// O(D log^4) vs O(D log^5); at laptop scale the win factor is ~L/6).
-// Validity and [DEV-9] fallback counters are reported for every run.
-#include <iostream>
+// E4 — distributed GST construction cost (thin wrapper; the experiment
+// definition lives in experiments/e4_gst_construction.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "core/gst_distributed.h"
-#include "graph/bfs.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header("E4: distributed GST construction rounds vs D",
-                      "Theorem 2.1: O(D log^4 n) pipelined vs O(D log^5 n) "
-                      "sequential; all outputs validated",
-                      "fast");
-  const int reps = 3;
-  text_table table({"D", "n", "pipelined", "sequential", "ratio", "valid",
-                    "fallbacks"});
-  for (int d : {6, 12, 24, 48}) {
-    graph::layered_options lo;
-    lo.depth = static_cast<std::size_t>(d);
-    lo.width = 3;
-    lo.edge_prob = 0.4;
-    double pip = 0, seq = 0;
-    int valid = 0, fallbacks = 0;
-    for (int i = 1; i <= reps; ++i) {
-      lo.seed = static_cast<std::uint64_t>(i) * 53;
-      const auto g = graph::random_layered(lo);
-      core::distributed_gst_options opt;
-      opt.seed = static_cast<std::uint64_t>(i);
-      opt.prm = core::params::fast();
-      opt.pipelined = true;
-      const auto p = core::build_gst_distributed_single(g, 0, opt);
-      opt.pipelined = false;
-      const auto s = core::build_gst_distributed_single(g, 0, opt);
-      pip += static_cast<double>(p.rounds) / reps;
-      seq += static_cast<double>(s.rounds) / reps;
-      valid += core::validate_gst(g, p.forests[0]).empty() &&
-                       core::validate_gst(g, s.forests[0]).empty()
-                   ? 1
-                   : 0;
-      fallbacks += p.fallback_finalizations + p.fallback_adoptions +
-                   s.fallback_finalizations + s.fallback_adoptions;
-    }
-    table.add_row({std::to_string(d), std::to_string(1 + d * 3),
-                   text_table::num(pip), text_table::num(seq),
-                   text_table::num(seq / pip, 2),
-                   std::to_string(valid) + "/" + std::to_string(reps),
-                   std::to_string(fallbacks)});
-  }
-  table.print(std::cout);
-  std::cout << "\n(ratio should exceed 1 and grow with D; both columns scale "
-               "linearly in D)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e4");
 }

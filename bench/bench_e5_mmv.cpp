@@ -1,81 +1,9 @@
-// E5 — multi-message viability (Definition 3.1) under noise injection.
-//
-// Claims: the leveled Decay schedule (Lemma 3.2) and the paper's new
-// virtual-distance-keyed GST schedule (Lemma 3.3) complete even when every
-// prompted node without the message jams; the classic level-keyed GST
-// schedule of [7]/[19] — which the paper argues is *not* MMV — degrades.
-#include <iostream>
+// E5 — multi-message viability under noise injection (thin wrapper; the
+// experiment definition lives in experiments/e5_mmv.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "baseline/decay.h"
-#include "bench_util.h"
-#include "core/gst_broadcast.h"
-#include "core/gst_centralized.h"
-#include "graph/bfs.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header(
-      "E5: broadcast under MMV noise (uninformed prompted nodes jam)",
-      "Lemmas 3.2/3.3: vdist-keyed schedules stay fast; classic level-keyed "
-      "schedule is not MMV",
-      "paper");
-  const int reps = 10;
-  graph::layered_options lo;
-  lo.depth = 12;
-  lo.width = 5;
-  lo.edge_prob = 0.4;
-  lo.intra_prob = 0.2;
-
-  struct row {
-    const char* name;
-    bool noise;
-    bool classic;
-    bool leveled_decay;
-  };
-  const row rows[] = {
-      {"leveled_decay", false, false, true},
-      {"leveled_decay+noise", true, false, true},
-      {"mmv_gst", false, false, false},
-      {"mmv_gst+noise", true, false, false},
-      {"classic_gst", false, true, false},
-      {"classic_gst+noise", true, true, false},
-  };
-  text_table table({"schedule", "completed", "mean_rounds"});
-  for (const auto& r : rows) {
-    int ok = 0;
-    sample_stats rounds;
-    for (int i = 1; i <= reps; ++i) {
-      lo.seed = static_cast<std::uint64_t>(i) * 13;
-      const auto g = graph::random_layered(lo);
-      radio::broadcast_result res;
-      if (r.leveled_decay) {
-        baseline::leveled_decay_options opt;
-        opt.seed = static_cast<std::uint64_t>(i);
-        opt.mmv_noise = r.noise;
-        res = baseline::run_leveled_decay_broadcast(
-            g, 0, graph::bfs(g, 0).level, opt);
-      } else {
-        const auto t = core::build_gst_centralized(g, 0);
-        const auto d = core::derive(g, t);
-        core::gst_broadcast_options opt;
-        opt.seed = static_cast<std::uint64_t>(i);
-        opt.mmv_noise = r.noise;
-        opt.classic_levels = r.classic;
-        res = core::run_gst_single_broadcast(g, t, d, {0}, opt);
-      }
-      if (res.completed) {
-        ++ok;
-        rounds.add(static_cast<double>(res.rounds_to_complete));
-      }
-    }
-    table.add_row({r.name, std::to_string(ok) + "/" + std::to_string(reps),
-                   ok > 0 ? text_table::num(rounds.mean()) : "-"});
-  }
-  table.print(std::cout);
-  std::cout << "\n(the classic schedule may still complete within its budget; "
-               "the MMV claim is about *guaranteed* progress — compare round "
-               "inflation under +noise)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e5");
 }

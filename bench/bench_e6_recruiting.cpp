@@ -1,60 +1,9 @@
-// E6 — the Recruiting protocol (Lemma 2.3).
-//
-// Claims: within Theta(log^3 n) rounds every blue with a red neighbor is
-// recruited w.h.p., and the count/class knowledge of both sides is exact
-// (properties (b)/(c) — unconditionally, thanks to [DEV-2]).
-#include <iostream>
+// E6 — the Recruiting protocol (thin wrapper; the experiment definition
+// lives in experiments/e6_recruiting.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "common/math.h"
-#include "common/rng.h"
-#include "core/recruiting.h"
-#include "graph/graph.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header("E6: recruiting success vs instance size",
-                      "Lemma 2.3: all blues recruited in Theta(log^3 n) "
-                      "rounds; class knowledge exact",
-                      "paper-grade (6 L^2 iterations)");
-  const int reps = 10;
-  text_table table({"n", "L", "rounds", "rounds/L^3", "recruited%",
-                    "props_ok"});
-  for (std::size_t half : {8, 16, 32, 64, 128}) {
-    const std::size_t n = 2 * half;
-    const int L = log_range(n) + 1;
-    const int iters = 6 * L * L;
-    double recruited = 0, total = 0;
-    int props = 0;
-    round_t rounds = 0;
-    for (int i = 1; i <= reps; ++i) {
-      rng prob(static_cast<std::uint64_t>(i) * 7 + half);
-      graph::graph::builder gb(n);
-      for (node_id r = 0; r < half; ++r)
-        for (node_id b = 0; b < half; ++b)
-          if (prob.bernoulli(4.0 / static_cast<double>(half)))
-            gb.add_edge(r, static_cast<node_id>(half + b));
-      const auto g = std::move(gb).build();
-      std::vector<node_id> reds, blues;
-      for (node_id r = 0; r < half; ++r) reds.push_back(r);
-      for (node_id b = 0; b < half; ++b)
-        if (g.degree(static_cast<node_id>(half + b)) > 0)
-          blues.push_back(static_cast<node_id>(half + b));
-      const auto res = core::run_recruiting(g, reds, blues, L, iters, L,
-                                            static_cast<std::uint64_t>(i));
-      recruited += static_cast<double>(res.recruited);
-      total += static_cast<double>(res.blues);
-      props += res.properties_ok ? 1 : 0;
-      rounds = res.rounds;
-    }
-    table.add_row(
-        {std::to_string(n), std::to_string(L), std::to_string(rounds),
-         text_table::num(static_cast<double>(rounds) / (L * L * L), 2),
-         text_table::num(100.0 * recruited / total, 2),
-         std::to_string(props) + "/" + std::to_string(reps)});
-  }
-  table.print(std::cout);
-  std::cout << "\n(rounds/L^3 stays bounded: the Theta(log^3 n) claim)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e6");
 }

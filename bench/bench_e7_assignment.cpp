@@ -1,62 +1,9 @@
-// E7 — the bipartite assignment epoch dynamics (Lemma 2.4, Figure 2).
-//
-// Claim: the number of active red nodes shrinks by a constant factor per
-// epoch (in expectation), so Theta(log n) epochs empty the instance.
-#include <iostream>
+// E7 — bipartite assignment epoch dynamics (thin wrapper; the experiment
+// definition lives in experiments/e7_assignment.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "common/math.h"
-#include "common/rng.h"
-#include "core/assignment.h"
-#include "graph/graph.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header("E7: active red nodes per assignment epoch",
-                      "Lemma 2.4: geometric decay of the active set",
-                      "paper-grade");
-  const int reps = 12;
-  const std::size_t half = 48;
-  const std::size_t n = 2 * half;
-  const int L = log_range(n) + 1;
-
-  std::vector<double> sums;
-  double assigned_ok = 0;
-  int fallbacks = 0;
-  for (int i = 1; i <= reps; ++i) {
-    rng prob(static_cast<std::uint64_t>(i) * 11);
-    graph::graph::builder gb(n);
-    for (node_id r = 0; r < half; ++r)
-      for (node_id b = 0; b < half; ++b)
-        if (prob.bernoulli(0.12)) gb.add_edge(r, static_cast<node_id>(half + b));
-    const auto g = std::move(gb).build();
-    std::vector<node_id> reds, blues;
-    for (node_id r = 0; r < half; ++r) reds.push_back(r);
-    for (node_id b = 0; b < half; ++b)
-      if (g.degree(static_cast<node_id>(half + b)) > 0)
-        blues.push_back(static_cast<node_id>(half + b));
-    const auto res =
-        core::run_assignment(g, reds, blues, 1, L, 2 * L, 3 * L, 4 * L * L, L,
-                             static_cast<std::uint64_t>(i));
-    if (res.all_assigned) assigned_ok += 1;
-    fallbacks += res.fallback_finalizations + res.fallback_adoptions;
-    for (std::size_t e = 0; e < res.epoch_active_reds.size(); ++e) {
-      if (sums.size() <= e) sums.push_back(0);
-      sums[e] += static_cast<double>(res.epoch_active_reds[e]) / reps;
-    }
-  }
-
-  text_table table({"epoch", "mean_active_reds", "ratio_vs_prev"});
-  double prev = -1;
-  for (std::size_t e = 0; e < sums.size() && e < 12; ++e) {
-    table.add_row({std::to_string(e), text_table::num(sums[e], 2),
-                   prev > 0 ? text_table::num(sums[e] / prev, 3) : "-"});
-    prev = sums[e];
-  }
-  table.print(std::cout);
-  std::cout << "\nall blues assigned in " << text_table::num(assigned_ok, 0)
-            << "/" << reps << " runs; fallbacks fired " << fallbacks
-            << " times\n(ratio < 1 throughout: the Lemma 2.4 contraction)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e7");
 }

@@ -1,82 +1,9 @@
-// E8 — coding layer: RLNC decode overhead, FEC fountain overhead, and the
-// generation-size ablation behind [DEV-7] / paper footnote 5.
-//
-// Claims: random GF(2) combinations decode after k + O(1) innovative packets
-// (expected overhead ~1.6 packets, no coupon-collector term); splitting k
-// messages into generations of size b trades header bits (b per packet) for
-// a small extra-packet overhead per generation.
-#include <iostream>
+// E8 — coding layer overheads (thin wrapper; the experiment definition
+// lives in experiments/e8_coding.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "coding/gf2.h"
-#include "coding/rlnc.h"
-#include "common/rng.h"
-
-using namespace rn;
-using namespace rn::coding;
-
-int main() {
-  bench::print_header("E8: RLNC / FEC decoding overhead",
-                      "decode at k + O(1) packets; generations trade header "
-                      "size for small per-batch overhead",
-                      "n/a (pure coding)");
-  const int reps = 200;
-
-  text_table t1({"k", "mean_packets_to_decode", "overhead"});
-  for (std::size_t k : {2, 4, 8, 16, 32, 64, 128}) {
-    double total = 0;
-    for (int i = 1; i <= reps; ++i) {
-      rng r(static_cast<std::uint64_t>(i) * 97 + k);
-      gf2_decoder src(k, 1);
-      for (std::size_t m = 0; m < k; ++m)
-        src.insert(gf2_vector::unit(k, m), {static_cast<std::uint8_t>(m)});
-      gf2_decoder sink(k, 1);
-      int packets = 0;
-      while (!sink.complete()) {
-        auto row = src.random_combination(r);
-        sink.insert(std::move(row.coeffs), std::move(row.payload));
-        ++packets;
-      }
-      total += packets;
-    }
-    const double mean = total / reps;
-    t1.add_row({std::to_string(k), text_table::num(mean, 2),
-                text_table::num(mean - static_cast<double>(k), 2)});
-  }
-  t1.print(std::cout);
-  std::cout << "\n(overhead ~1.6 packets regardless of k — the expected "
-               "number of non-innovative random GF(2) draws)\n\n";
-
-  // Generation ablation: deliver k = 64 messages through one lossy relay hop
-  // (each packet lost with probability 0.3), coding within generations only.
-  const std::size_t k = 64;
-  text_table t2({"generation_size", "header_bits/packet", "mean_packets_sent"});
-  for (std::size_t gen : {4, 8, 16, 32, 64}) {
-    batch_layout bl{k, gen};
-    double total = 0;
-    for (int i = 1; i <= 50; ++i) {
-      rng r(static_cast<std::uint64_t>(i) * 131 + gen);
-      int sent = 0;
-      for (std::size_t b = 0; b < bl.batch_count(); ++b) {
-        const std::size_t dim = bl.size_of(b);
-        gf2_decoder src(dim, 1);
-        for (std::size_t m = 0; m < dim; ++m)
-          src.insert(gf2_vector::unit(dim, m), {static_cast<std::uint8_t>(m)});
-        gf2_decoder sink(dim, 1);
-        while (!sink.complete()) {
-          auto row = src.random_combination(r);
-          ++sent;
-          if (r.bernoulli(0.3)) continue;  // packet lost
-          sink.insert(std::move(row.coeffs), std::move(row.payload));
-        }
-      }
-      total += sent;
-    }
-    t2.add_row({std::to_string(gen), std::to_string(gen),
-                text_table::num(total / 50, 1)});
-  }
-  t2.print(std::cout);
-  std::cout << "\n(smaller generations: smaller coefficient headers — the "
-               "paper's O(log n) bound — at ~2 extra packets per batch)\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e8");
 }

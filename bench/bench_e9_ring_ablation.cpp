@@ -1,61 +1,9 @@
-// E9 — ring-width ablation for the Theorem 1.1 pipeline [DEV-6].
-//
-// The paper sets ring width D / log^4 n (one ring when D is small). The
-// width trades per-ring GST construction cost (grows with width) against
-// relay overhead (more rings = more Decay handoffs and more sequential
-// per-ring broadcasts). This harness sweeps the divisor on a deep graph.
-#include <iostream>
+// E9 — ring-width ablation (thin wrapper; the experiment definition lives
+// in experiments/e9_ring_ablation.cpp).
+#include "experiments/experiments.h"
+#include "sim/cli.h"
 
-#include "bench_util.h"
-#include "core/single_broadcast.h"
-#include "graph/bfs.h"
-#include "graph/generators.h"
-
-using namespace rn;
-
-int main() {
-  bench::print_header(
-      "E9: Theorem 1.1 ring-width ablation (layered, D = 24, n = 97)",
-      "wider rings: cheaper relay, costlier construction wavefront", "fast");
-  const int reps = 2;
-  graph::layered_options lo;
-  lo.depth = 24;
-  lo.width = 4;
-  lo.edge_prob = 0.4;
-
-  text_table table({"ring_divisor", "rings", "setup", "relay", "completed"});
-  for (double divisor : {0.0, 2.0, 4.0, 8.0}) {
-    double setup = 0, relay = 0;
-    std::size_t rings = 0;
-    int ok = 0;
-    for (int i = 1; i <= reps; ++i) {
-      lo.seed = static_cast<std::uint64_t>(i) * 61;
-      const auto g = graph::random_layered(lo);
-      core::single_broadcast_options opt;
-      opt.seed = static_cast<std::uint64_t>(i);
-      opt.prm = core::params::fast();
-      opt.prm.ring_divisor = divisor;
-      const auto res = core::run_unknown_cd_single_broadcast(g, 0, opt);
-      round_t s = 0, rel = 0;
-      for (const auto& [name, r] : res.phase_rounds)
-        (std::string(name) == "ring_relay" ? rel : s) += r;
-      setup += static_cast<double>(s) / reps;
-      relay += static_cast<double>(rel) / reps;
-      ok += res.completed ? 1 : 0;
-      core::single_broadcast_options popt = opt;
-      rings = core::decompose_rings(
-                  graph::bfs(g, 0).level,
-                  core::ring_width_for(24, divisor))
-                  .rings.size();
-    }
-    table.add_row({text_table::num(divisor, 1), std::to_string(rings),
-                   text_table::num(setup), text_table::num(relay),
-                   std::to_string(ok) + "/" + std::to_string(reps)});
-  }
-  table.print(std::cout);
-  std::cout << "\n(setup shrinks as rings narrow — shorter construction "
-               "wavefront per ring — while relay grows with the number of "
-               "handoffs; the paper picks width D/log^4 n so both sides are "
-               "O(D))\n";
-  return 0;
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv, "e9");
 }

@@ -1,0 +1,15 @@
+// Consolidated experiment harness: runs any registered experiment (E1..E9)
+// by name on the trial-parallel Monte Carlo engine.
+//
+//   bench_suite --list
+//   bench_suite --experiment e1 --trials 64 --threads 8 --json out.json
+//   bench_suite --experiment all --trials 2 --json bench.json
+//
+// Results are bit-identical for a given (seed, trials) at any --threads.
+#include "experiments/experiments.h"
+#include "sim/cli.h"
+
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+  return rn::sim::run_suite(argc, argv);
+}

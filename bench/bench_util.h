@@ -1,16 +1,22 @@
-// Shared helpers for the experiment harnesses (E1..E8).
+// DEPRECATED compatibility shim for the pre-sim experiment harnesses.
+//
+// The serial `mean_over_seeds` loop and ad-hoc iostream reporting were
+// replaced by the trial-parallel engine in src/sim/ (sim::run_trials,
+// sim::experiment, sim::run_suite). New code should define a
+// `sim::experiment` in bench/experiments/ instead of using this header.
 #pragma once
 
-#include <cstdio>
+#include <cstdint>
 #include <functional>
 #include <iostream>
-#include <string>
 
-#include "common/stats.h"
-#include "common/table.h"
+#include "common/check.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
 
 namespace rn::bench {
 
+[[deprecated("use sim::print_report via a registered sim::experiment")]]
 inline void print_header(const char* id, const char* claim,
                          const char* profile) {
   std::cout << "==============================================================\n"
@@ -19,12 +25,21 @@ inline void print_header(const char* id, const char* claim,
             << "==============================================================\n";
 }
 
-/// Mean of `fn(seed)` over seeds 1..reps.
+/// Mean of `fn(seed)` over seeds 1..reps. Runs on the sim engine (serially,
+/// to preserve the historical seed sequence 1..reps exactly).
+[[deprecated("use sim::run_trials, which parallelizes and seeds via rng streams")]]
 inline double mean_over_seeds(int reps,
                               const std::function<double(std::uint64_t)>& fn) {
-  sample_stats s;
-  for (int i = 1; i <= reps; ++i) s.add(fn(static_cast<std::uint64_t>(i)));
-  return s.mean();
+  RN_REQUIRE(reps >= 1, "mean_over_seeds requires reps >= 1");
+  sim::run_config cfg;
+  cfg.trials = static_cast<std::size_t>(reps);
+  cfg.threads = 1;
+  const auto results = sim::run_trials(cfg, [&fn](std::size_t trial, rng&) {
+    sim::metrics m;
+    m.set("value", fn(static_cast<std::uint64_t>(trial) + 1));
+    return m;
+  });
+  return sim::aggregate(results.per_trial).front().stats.mean;
 }
 
 }  // namespace rn::bench

@@ -1,0 +1,3 @@
+// Compile-time check that the deprecated bench_util.h shim still builds for
+// any straggler harness; intentionally has no runtime content.
+#include "bench_util.h"

@@ -1,0 +1,57 @@
+// E2 — single-message broadcast rounds vs n at fixed diameter.
+//
+// Claim: at fixed D, all algorithms grow polylogarithmically in n; the
+// GST-based broadcast stays near its D-dominated floor.
+#include <string>
+
+#include "core/api.h"
+#include "experiments/experiments.h"
+#include "graph/generators.h"
+#include "sim/experiment.h"
+
+namespace rn::bench {
+
+void register_e2(sim::registry& reg) {
+  sim::experiment e;
+  e.id = "e2";
+  e.title = "single-message rounds vs n (fixed D = 12)";
+  e.claim = "polylog growth in n for every algorithm";
+  e.profile = "fast";
+  e.default_trials = 5;
+  e.metric_columns = {"decay", "tuned", "gst_known"};
+  e.notes = "(n grows 32x; rounds should grow only a few-fold)";
+  e.make_scenarios = [] {
+    std::vector<sim::scenario> out;
+    for (const std::size_t width : {2, 4, 8, 16, 32, 64}) {
+      sim::scenario sc;
+      sc.label = "n=" + std::to_string(1 + 12 * width);
+      sc.params = {{"n", static_cast<double>(1 + 12 * width)},
+                   {"width", static_cast<double>(width)}};
+      sc.run = [width](std::size_t, rng& r) {
+        graph::layered_options lo;
+        lo.depth = 12;
+        lo.width = width;
+        lo.edge_prob = 0.4;
+        lo.seed = r();
+        const auto g = graph::random_layered(lo);
+        core::run_options opt;
+        opt.prm = core::params::fast();
+        sim::metrics m;
+        for (const auto& [name, alg] :
+             {std::pair{"decay", core::single_algorithm::decay},
+              std::pair{"tuned", core::single_algorithm::tuned_decay},
+              std::pair{"gst_known", core::single_algorithm::gst_known}}) {
+          opt.seed = r();
+          m.set(name, static_cast<double>(
+                          core::run_single(g, 0, alg, opt).rounds_to_complete));
+        }
+        return m;
+      };
+      out.push_back(std::move(sc));
+    }
+    return out;
+  };
+  reg.add(std::move(e));
+}
+
+}  // namespace rn::bench

@@ -1,0 +1,69 @@
+// E6 — the Recruiting protocol (Lemma 2.3).
+//
+// Claims: within Theta(log^3 n) rounds every blue with a red neighbor is
+// recruited w.h.p., and the count/class knowledge of both sides is exact
+// (properties (b)/(c) — unconditionally, thanks to [DEV-2]).
+#include <string>
+
+#include "common/math.h"
+#include "core/recruiting.h"
+#include "experiments/experiments.h"
+#include "graph/graph.h"
+#include "sim/experiment.h"
+
+namespace rn::bench {
+
+void register_e6(sim::registry& reg) {
+  sim::experiment e;
+  e.id = "e6";
+  e.title = "recruiting success vs instance size";
+  e.claim =
+      "Lemma 2.3: all blues recruited in Theta(log^3 n) rounds; class "
+      "knowledge exact";
+  e.profile = "paper-grade (6 L^2 iterations)";
+  e.default_trials = 10;
+  e.metric_columns = {"rounds", "rounds_per_L3", "recruited_pct", "props_ok"};
+  e.notes = "(rounds/L^3 stays bounded: the Theta(log^3 n) claim)";
+  e.make_scenarios = [] {
+    std::vector<sim::scenario> out;
+    for (const std::size_t half : {8, 16, 32, 64, 128}) {
+      const std::size_t n = 2 * half;
+      const int L = log_range(n) + 1;
+      sim::scenario sc;
+      sc.label = "n=" + std::to_string(n);
+      sc.params = {{"n", static_cast<double>(n)},
+                   {"L", static_cast<double>(L)}};
+      sc.run = [half, n, L](std::size_t, rng& r) {
+        graph::graph::builder gb(n);
+        for (node_id red = 0; red < half; ++red)
+          for (node_id blue = 0; blue < half; ++blue)
+            if (r.bernoulli(4.0 / static_cast<double>(half)))
+              gb.add_edge(red, static_cast<node_id>(half + blue));
+        const auto g = std::move(gb).build();
+        std::vector<node_id> reds, blues;
+        for (node_id red = 0; red < half; ++red) reds.push_back(red);
+        for (node_id blue = 0; blue < half; ++blue)
+          if (g.degree(static_cast<node_id>(half + blue)) > 0)
+            blues.push_back(static_cast<node_id>(half + blue));
+        const int iters = 6 * L * L;
+        const auto res =
+            core::run_recruiting(g, reds, blues, L, iters, L, r());
+        sim::metrics m;
+        m.set("rounds", static_cast<double>(res.rounds));
+        m.set("rounds_per_L3",
+              static_cast<double>(res.rounds) / static_cast<double>(L * L * L));
+        m.set("recruited_pct",
+              res.blues > 0 ? 100.0 * static_cast<double>(res.recruited) /
+                                  static_cast<double>(res.blues)
+                            : 100.0);
+        m.set("props_ok", res.properties_ok ? 1.0 : 0.0);
+        return m;
+      };
+      out.push_back(std::move(sc));
+    }
+    return out;
+  };
+  reg.add(std::move(e));
+}
+
+}  // namespace rn::bench

@@ -1,0 +1,28 @@
+// Registration entry points for the E1..E9 experiments.
+//
+// Each experiment lives in its own translation unit and registers a
+// `sim::experiment` into the process-wide registry. Registration is explicit
+// (no self-registering statics — a static library would silently drop them):
+// every harness main calls register_all() before sim::run_suite().
+#pragma once
+
+namespace rn::sim {
+class registry;
+}
+
+namespace rn::bench {
+
+void register_e1(sim::registry& reg);
+void register_e2(sim::registry& reg);
+void register_e3(sim::registry& reg);
+void register_e4(sim::registry& reg);
+void register_e5(sim::registry& reg);
+void register_e6(sim::registry& reg);
+void register_e7(sim::registry& reg);
+void register_e8(sim::registry& reg);
+void register_e9(sim::registry& reg);
+
+/// Registers E1..E9 into sim::registry::instance(); idempotent.
+void register_all();
+
+}  // namespace rn::bench

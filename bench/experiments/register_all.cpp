@@ -1,0 +1,24 @@
+#include "experiments/experiments.h"
+
+#include "sim/experiment.h"
+
+namespace rn::bench {
+
+void register_all() {
+  static const bool done = [] {
+    auto& reg = sim::registry::instance();
+    register_e1(reg);
+    register_e2(reg);
+    register_e3(reg);
+    register_e4(reg);
+    register_e5(reg);
+    register_e6(reg);
+    register_e7(reg);
+    register_e8(reg);
+    register_e9(reg);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace rn::bench

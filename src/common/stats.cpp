@@ -48,6 +48,20 @@ double sample_stats::max() const {
   return sorted_.back();
 }
 
+stats_summary sample_stats::summarize() const {
+  RN_REQUIRE(!samples_.empty(), "summarize of empty sample set");
+  stats_summary s;
+  s.count = count();
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.p10 = percentile(0.1);
+  s.p50 = percentile(0.5);
+  s.p90 = percentile(0.9);
+  s.max = max();
+  return s;
+}
+
 double sample_stats::percentile(double p) const {
   RN_REQUIRE(!samples_.empty(), "percentile of empty sample set");
   RN_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");

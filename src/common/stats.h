@@ -6,6 +6,19 @@
 
 namespace rn {
 
+/// Fixed snapshot of a sample set, cheap to copy and serialize (the shape the
+/// experiment engine's JSON output uses).
+struct stats_summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p10 = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double max = 0;
+};
+
 /// Collects samples and reports mean / stddev / min / max / percentiles.
 class sample_stats {
  public:
@@ -19,6 +32,9 @@ class sample_stats {
   /// p in [0,1]; nearest-rank percentile.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
+
+  /// Snapshot of every statistic at once; requires count() > 0.
+  [[nodiscard]] stats_summary summarize() const;
 
  private:
   std::vector<double> samples_;

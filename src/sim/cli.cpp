@@ -1,0 +1,157 @@
+#include "sim/cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string_view>
+
+#include "sim/experiment.h"
+
+namespace rn::sim {
+
+namespace {
+
+void print_usage(std::ostream& os, const char* prog) {
+  os << "usage: " << prog
+     << " [--experiment ID|all] [--trials N] [--threads N] [--seed S]\n"
+     << "       [--json PATH] [--list] [--help]\n\n"
+     << "  --experiment, -e  experiment id (see --list), or 'all'\n"
+     << "  --trials,     -t  Monte Carlo trials per scenario (default: per"
+        " experiment)\n"
+     << "  --threads,    -j  worker threads (default: hardware concurrency);\n"
+     << "                    results are identical at every thread count\n"
+     << "  --seed,       -s  run seed (default 1)\n"
+     << "  --json            also write machine-readable results to PATH\n"
+     << "  --list            list registered experiments and exit\n";
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_cli(int argc, char** argv, cli_options& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](std::string_view flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+    } else if (arg == "--list") {
+      out.list = true;
+    } else if (arg == "--experiment" || arg == "-e") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.experiment = v;
+    } else if (arg == "--json") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.json_path = v;
+    } else if (arg == "--trials" || arg == "-t" || arg == "--threads" ||
+               arg == "-j" || arg == "--seed" || arg == "-s") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(v, n)) {
+        std::cerr << "bad value for " << arg << ": " << v << "\n";
+        return false;
+      }
+      if (arg == "--trials" || arg == "-t") {
+        if (n == 0) {
+          std::cerr << "--trials must be >= 1\n";
+          return false;
+        }
+        out.trials = static_cast<std::size_t>(n);
+      } else if (arg == "--threads" || arg == "-j") {
+        out.threads = static_cast<unsigned>(n);
+      } else {
+        out.seed = n;
+      }
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_suite(int argc, char** argv, const char* forced_experiment) {
+  cli_options opt;
+  if (forced_experiment != nullptr) opt.experiment = forced_experiment;
+  if (!parse_cli(argc, argv, opt)) {
+    print_usage(std::cerr, argv[0]);
+    return 2;
+  }
+  if (opt.help) {
+    print_usage(std::cout, argv[0]);
+    return 0;
+  }
+
+  const registry& reg = registry::instance();
+  if (opt.list) {
+    for (const auto& id : reg.ids()) {
+      const experiment* e = reg.find(id);
+      std::cout << id << "  " << e->title << "\n";
+    }
+    return 0;
+  }
+  if (opt.experiment.empty()) {
+    std::cerr << "no experiment selected\n";
+    print_usage(std::cerr, argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> ids;
+  if (opt.experiment == "all") {
+    ids = reg.ids();
+  } else {
+    if (reg.find(opt.experiment) == nullptr) {
+      std::cerr << "unknown experiment: " << opt.experiment
+                << " (try --list)\n";
+      return 2;
+    }
+    ids.push_back(opt.experiment);
+  }
+
+  json_value all = json_value::array();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const experiment* e = reg.find(ids[i]);
+    run_config cfg;
+    cfg.trials = opt.trials != 0 ? opt.trials : e->default_trials;
+    cfg.threads = opt.threads;
+    cfg.seed = opt.seed;
+    const experiment_result result = run_experiment(*e, cfg);
+    if (i > 0) std::cout << "\n";
+    print_report(std::cout, *e, result);
+    if (!opt.json_path.empty()) all.push_back(to_json(*e, result));
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 1;
+    }
+    all.dump(out, 2);  // always an array, even for one experiment
+    out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace rn::sim

@@ -1,0 +1,33 @@
+// Command-line driver shared by bench_suite and the per-experiment binaries.
+//
+//   bench_suite --experiment e1 --trials 64 --threads 8 --seed 1 --json out.json
+//   bench_suite --experiment all --trials 4 --json bench.json
+//   bench_suite --list
+//
+// Experiments must already be registered (bench::register_all()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rn::sim {
+
+struct cli_options {
+  std::string experiment;    ///< id, or "all"
+  std::size_t trials = 0;    ///< 0 = each experiment's default_trials
+  unsigned threads = 0;      ///< 0 = hardware concurrency
+  std::uint64_t seed = 1;
+  std::string json_path;     ///< empty = no JSON output
+  bool list = false;
+  bool help = false;
+};
+
+/// Parses argv; returns false (with a message on stderr) on bad usage.
+[[nodiscard]] bool parse_cli(int argc, char** argv, cli_options& out);
+
+/// Full driver: parse, run, report. `forced_experiment` preselects the
+/// experiment id (the thin bench_eN wrappers); any CLI flag, including
+/// --experiment, still overrides it. Returns a process exit code.
+int run_suite(int argc, char** argv, const char* forced_experiment = nullptr);
+
+}  // namespace rn::sim

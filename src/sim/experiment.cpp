@@ -1,0 +1,194 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace rn::sim {
+
+const stats_summary* scenario_result::find(std::string_view name) const {
+  for (const auto& m : summaries)
+    if (m.name == name) return &m.stats;
+  return nullptr;
+}
+
+std::vector<metric_summary> aggregate(const std::vector<metrics>& per_trial) {
+  std::vector<std::string> order;
+  std::vector<sample_stats> acc;
+  for (const auto& m : per_trial) {
+    for (const auto& [name, value] : m.items()) {
+      std::size_t i = 0;
+      while (i < order.size() && order[i] != name) ++i;
+      if (i == order.size()) {
+        order.push_back(name);
+        acc.emplace_back();
+      }
+      acc[i].add(value);
+    }
+  }
+  std::vector<metric_summary> out;
+  out.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    out.push_back({order[i], acc[i].summarize()});
+  return out;
+}
+
+experiment_result run_experiment(const experiment& e, const run_config& cfg) {
+  RN_REQUIRE(static_cast<bool>(e.make_scenarios),
+             "experiment has no scenario factory: " + e.id);
+  experiment_result result;
+  result.id = e.id;
+  result.seed = cfg.seed;
+  result.trials_requested = cfg.trials;
+
+  const auto scenarios = e.make_scenarios();
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const scenario& sc = scenarios[s];
+    run_config trial_cfg = cfg;
+    if (sc.max_trials != 0 && trial_cfg.trials > sc.max_trials)
+      trial_cfg.trials = sc.max_trials;
+    trial_cfg.stream_base = static_cast<std::uint64_t>(s) << 32;
+
+    const trial_results trials = run_trials(trial_cfg, sc.run);
+
+    scenario_result sr;
+    sr.label = sc.label;
+    sr.params = sc.params;
+    sr.trials = trial_cfg.trials;
+    sr.summaries = aggregate(trials.per_trial);
+    result.scenarios.push_back(std::move(sr));
+  }
+  return result;
+}
+
+namespace {
+
+/// Metric column order: the experiment's explicit list, else first-seen union.
+std::vector<std::string> metric_order(const experiment& e,
+                                      const experiment_result& r) {
+  if (!e.metric_columns.empty()) return e.metric_columns;
+  std::vector<std::string> order;
+  for (const auto& sr : r.scenarios)
+    for (const auto& m : sr.summaries)
+      if (std::find(order.begin(), order.end(), m.name) == order.end())
+        order.push_back(m.name);
+  return order;
+}
+
+std::string format_param(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9e15)
+    return std::to_string(static_cast<long long>(v));
+  return text_table::num(v, 2);
+}
+
+}  // namespace
+
+void print_report(std::ostream& os, const experiment& e,
+                  const experiment_result& r) {
+  os << "==============================================================\n"
+     << e.id << ": " << e.title << "\n"
+     << e.claim << "\n"
+     << "constants profile: " << e.profile << "   seed: " << r.seed
+     << "   trials: " << r.trials_requested << "\n"
+     << "==============================================================\n";
+
+  const auto cols = metric_order(e, r);
+  // Param columns: first-seen union (scenario groups may differ, e.g. E8).
+  std::vector<std::string> param_cols;
+  for (const auto& sr : r.scenarios)
+    for (const auto& [name, value] : sr.params)
+      if (std::find(param_cols.begin(), param_cols.end(), name) ==
+          param_cols.end())
+        param_cols.push_back(name);
+
+  std::vector<std::string> header{"scenario"};
+  for (const auto& p : param_cols) header.push_back(p);
+  for (const auto& c : cols) header.push_back(c);
+  header.push_back("trials");
+
+  text_table table(header);
+  for (const auto& sr : r.scenarios) {
+    std::vector<std::string> row{sr.label};
+    for (const auto& p : param_cols) {
+      std::string cell = "-";
+      for (const auto& [name, value] : sr.params)
+        if (name == p) cell = format_param(value);
+      row.push_back(std::move(cell));
+    }
+    for (const auto& c : cols) {
+      const stats_summary* s = sr.find(c);
+      row.push_back(s != nullptr ? text_table::num(s->mean) : "-");
+    }
+    row.push_back(std::to_string(sr.trials));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  if (!e.notes.empty()) os << "\n" << e.notes << "\n";
+}
+
+json_value to_json(const experiment& e, const experiment_result& r) {
+  json_value root = json_value::object();
+  root["schema"] = "rn-bench-v1";
+  root["experiment"] = r.id;
+  root["title"] = e.title;
+  root["claim"] = e.claim;
+  root["profile"] = e.profile;
+  root["seed"] = r.seed;
+  root["trials"] = r.trials_requested;
+
+  json_value scenarios = json_value::array();
+  for (const auto& sr : r.scenarios) {
+    json_value js = json_value::object();
+    js["label"] = sr.label;
+    json_value params = json_value::object();
+    for (const auto& [name, value] : sr.params) params[name] = value;
+    js["params"] = std::move(params);
+    js["trials"] = sr.trials;
+    json_value ms = json_value::object();
+    for (const auto& m : sr.summaries) {
+      json_value s = json_value::object();
+      s["count"] = m.stats.count;
+      s["mean"] = m.stats.mean;
+      s["stddev"] = m.stats.stddev;
+      s["min"] = m.stats.min;
+      s["p10"] = m.stats.p10;
+      s["p50"] = m.stats.p50;
+      s["p90"] = m.stats.p90;
+      s["max"] = m.stats.max;
+      ms[m.name] = std::move(s);
+    }
+    js["metrics"] = std::move(ms);
+    scenarios.push_back(std::move(js));
+  }
+  root["scenarios"] = std::move(scenarios);
+  return root;
+}
+
+registry& registry::instance() {
+  static registry r;
+  return r;
+}
+
+void registry::add(experiment e) {
+  RN_REQUIRE(!e.id.empty(), "experiment id must be non-empty");
+  RN_REQUIRE(find(e.id) == nullptr, "duplicate experiment id: " + e.id);
+  experiments_.push_back(std::move(e));
+}
+
+const experiment* registry::find(std::string_view id) const {
+  for (const auto& e : experiments_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+std::vector<std::string> registry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(e.id);
+  return out;
+}
+
+}  // namespace rn::sim

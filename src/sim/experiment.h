@@ -1,0 +1,105 @@
+// Named experiments on top of the trial-parallel runner.
+//
+// An experiment is a list of scenarios (e.g. one per diameter value); each
+// scenario supplies a trial function measuring one or more named metrics.
+// `run_experiment` executes every scenario's trials on the thread pool and
+// aggregates each metric into a `stats_summary`; the result renders as the
+// classic aligned text table and/or as machine-readable JSON (the BENCH_*.json
+// format the CI perf trajectory accumulates).
+//
+// Determinism contract: scenario s / trial t always runs on rng stream
+// (s << 32) + t of the run seed, so aggregate results depend only on
+// (seed, trials) — never on --threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/json.h"
+#include "sim/runner.h"
+
+namespace rn::sim {
+
+/// One parameter point of an experiment.
+struct scenario {
+  std::string label;  ///< row label, e.g. "D=8"
+  /// Key columns shown before the metrics (e.g. {"D", 8}, {"n", 241}).
+  std::vector<std::pair<std::string, double>> params;
+  /// Hard cap on trials for expensive scenarios (0 = no cap). Applies
+  /// identically at every thread count, so determinism is unaffected.
+  std::size_t max_trials = 0;
+  trial_fn run;
+};
+
+struct experiment {
+  std::string id;       ///< CLI name, e.g. "e1"
+  std::string title;
+  std::string claim;    ///< the paper claim under test
+  std::string profile;  ///< constants profile ("fast", "paper", ...)
+  std::string notes;    ///< epilogue printed under the table
+  std::size_t default_trials = 5;
+  /// Metric column order for the table; empty = first-seen order.
+  std::vector<std::string> metric_columns;
+  std::function<std::vector<scenario>()> make_scenarios;
+};
+
+struct metric_summary {
+  std::string name;
+  stats_summary stats;
+};
+
+struct scenario_result {
+  std::string label;
+  std::vector<std::pair<std::string, double>> params;
+  std::size_t trials = 0;  ///< trials actually run (after max_trials cap)
+  std::vector<metric_summary> summaries;
+
+  /// nullptr if no trial reported the metric.
+  [[nodiscard]] const stats_summary* find(std::string_view name) const;
+};
+
+struct experiment_result {
+  std::string id;
+  std::uint64_t seed = 0;
+  std::size_t trials_requested = 0;
+  std::vector<scenario_result> scenarios;
+};
+
+/// Aggregates per-trial metrics by name (trials missing a metric simply do
+/// not contribute to its summary). Order: first-seen across trials.
+[[nodiscard]] std::vector<metric_summary> aggregate(
+    const std::vector<metrics>& per_trial);
+
+/// Runs every scenario of `e` with `cfg` trials/threads/seed.
+[[nodiscard]] experiment_result run_experiment(const experiment& e,
+                                               const run_config& cfg);
+
+/// Human-readable report: banner, aligned table (means), notes.
+void print_report(std::ostream& os, const experiment& e,
+                  const experiment_result& r);
+
+/// Machine-readable report with the full per-metric summaries. Thread count
+/// is deliberately not recorded: it must never affect results.
+[[nodiscard]] json_value to_json(const experiment& e,
+                                 const experiment_result& r);
+
+/// Process-wide experiment name -> definition table. Experiments register
+/// explicitly (no static-initialization tricks) via bench::register_all().
+class registry {
+ public:
+  static registry& instance();
+
+  void add(experiment e);
+  [[nodiscard]] const experiment* find(std::string_view id) const;
+  [[nodiscard]] std::vector<std::string> ids() const;  ///< registration order
+
+ private:
+  std::vector<experiment> experiments_;
+};
+
+}  // namespace rn::sim

@@ -1,0 +1,117 @@
+#include "sim/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rn::sim {
+
+void json_value::push_back(json_value v) {
+  RN_REQUIRE(kind_ == kind::array, "push_back on non-array json value");
+  arr_.push_back(std::move(v));
+}
+
+json_value& json_value::operator[](std::string_view key) {
+  RN_REQUIRE(kind_ == kind::object, "operator[] on non-object json value");
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(std::string(key), json_value());
+  return obj_.back().second;
+}
+
+void json_value::write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_value::write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the usual stand-in
+    os << "null";
+    return;
+  }
+  // Integral values (round counts, seeds, ...) print without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void json_value::write(std::ostream& os, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case kind::null: os << "null"; break;
+    case kind::boolean: os << (bool_ ? "true" : "false"); break;
+    case kind::number: write_number(os, num_); break;
+    case kind::string: write_escaped(os, str_); break;
+    case kind::array: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        os << pad;
+        arr_[i].write(os, indent, depth + 1);
+        if (i + 1 < arr_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << ']';
+      break;
+    }
+    case kind::object: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        os << pad;
+        write_escaped(os, obj_[i].first);
+        os << colon;
+        obj_[i].second.write(os, indent, depth + 1);
+        if (i + 1 < obj_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << '}';
+      break;
+    }
+  }
+}
+
+void json_value::dump(std::ostream& os, int indent) const {
+  write(os, indent, 0);
+}
+
+std::string json_value::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent, 0);
+  return os.str();
+}
+
+}  // namespace rn::sim

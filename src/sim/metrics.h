@@ -1,0 +1,69 @@
+// Per-trial measurement vector for the Monte Carlo experiment engine.
+//
+// A trial reports an ordered list of named scalars ("rounds", "deliveries",
+// ...). Order is preserved so reports and JSON output are deterministic;
+// lookups are linear (metric sets are tiny).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "radio/result.h"
+
+namespace rn::sim {
+
+/// Ordered (name, value) pairs produced by one trial.
+class metrics {
+ public:
+  /// Sets `name` to `value`; appends if new, overwrites if already present.
+  void set(std::string_view name, double value) {
+    for (auto& [k, v] : items_) {
+      if (k == name) {
+        v = value;
+        return;
+      }
+    }
+    items_.emplace_back(std::string(name), value);
+  }
+
+  [[nodiscard]] bool has(std::string_view name) const {
+    for (const auto& [k, v] : items_)
+      if (k == name) return true;
+    return false;
+  }
+
+  [[nodiscard]] double get(std::string_view name) const {
+    for (const auto& [k, v] : items_)
+      if (k == name) return v;
+    RN_REQUIRE(false, "unknown metric: " + std::string(name));
+    return 0;  // unreachable
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& items()
+      const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> items_;
+};
+
+/// The standard metric set of a broadcast run: completion, rounds, and the
+/// `radio::network_stats`-derived counters every protocol runner reports.
+/// "rounds" is only present for completed runs (so its aggregate is the mean
+/// over completions); "rounds_executed" is always present.
+inline metrics of_broadcast_result(const radio::broadcast_result& r) {
+  metrics m;
+  m.set("completed", r.completed ? 1.0 : 0.0);
+  if (r.completed) m.set("rounds", static_cast<double>(r.rounds_to_complete));
+  m.set("rounds_executed", static_cast<double>(r.rounds_executed));
+  m.set("transmissions", static_cast<double>(r.transmissions));
+  m.set("deliveries", static_cast<double>(r.deliveries));
+  m.set("collisions", static_cast<double>(r.collisions_observed));
+  return m;
+}
+
+}  // namespace rn::sim

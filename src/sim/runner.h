@@ -1,0 +1,43 @@
+// Trial-parallel Monte Carlo runner.
+//
+// Fans N independent trials out over a std::thread pool. Trial t always runs
+// on `rng::for_stream(seed, stream_base + t)` and writes its metrics into
+// slot t of the result vector, so the outcome is bit-identical regardless of
+// thread count or scheduling — parallelism is purely an execution detail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/metrics.h"
+
+namespace rn::sim {
+
+struct run_config {
+  std::size_t trials = 8;
+  unsigned threads = 0;           ///< 0 = std::thread::hardware_concurrency()
+  std::uint64_t seed = 1;
+  std::uint64_t stream_base = 0;  ///< trial t uses rng stream stream_base + t
+};
+
+/// One trial: gets its index and a private deterministic rng, returns its
+/// measurements. Must not touch shared mutable state (trials run in parallel).
+using trial_fn = std::function<metrics(std::size_t trial, rng& r)>;
+
+struct trial_results {
+  std::vector<metrics> per_trial;  ///< indexed by trial
+};
+
+/// Worker count actually used for (requested, trials): never 0, never more
+/// than `trials`.
+[[nodiscard]] unsigned resolve_threads(unsigned requested, std::size_t trials);
+
+/// Runs `cfg.trials` trials of `fn`, in parallel when cfg.threads (or the
+/// hardware) allows. If a trial throws, the first exception is rethrown after
+/// all workers have stopped.
+[[nodiscard]] trial_results run_trials(const run_config& cfg,
+                                       const trial_fn& fn);
+
+}  // namespace rn::sim

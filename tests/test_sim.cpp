@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/cli.h"
+#include "sim/experiment.h"
+#include "sim/json.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+
+namespace rn::sim {
+namespace {
+
+// A deterministic but rng-dependent trial: every draw must come from the
+// trial's private stream for the thread-invariance tests to mean anything.
+metrics noisy_trial(std::size_t trial, rng& r) {
+  metrics m;
+  m.set("value", static_cast<double>(r.uniform(1000)));
+  m.set("trial", static_cast<double>(trial));
+  m.set("u01", r.uniform01());
+  return m;
+}
+
+TEST(Runner, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(4, 100), 4u);
+  EXPECT_EQ(resolve_threads(8, 3), 3u);
+  EXPECT_GE(resolve_threads(0, 100), 1u);
+  EXPECT_EQ(resolve_threads(1, 0), 1u);
+}
+
+TEST(Runner, RunsEveryTrialExactlyOnce) {
+  run_config cfg;
+  cfg.trials = 37;
+  cfg.threads = 4;
+  std::atomic<int> calls{0};
+  const auto res = run_trials(cfg, [&calls](std::size_t trial, rng&) {
+    calls.fetch_add(1);
+    metrics m;
+    m.set("trial", static_cast<double>(trial));
+    return m;
+  });
+  EXPECT_EQ(calls.load(), 37);
+  ASSERT_EQ(res.per_trial.size(), 37u);
+  for (std::size_t t = 0; t < res.per_trial.size(); ++t)
+    EXPECT_DOUBLE_EQ(res.per_trial[t].get("trial"), static_cast<double>(t));
+}
+
+TEST(Runner, ByteIdenticalAcrossThreadCounts) {
+  // The acceptance contract: same (seed, trials) => identical per-trial
+  // metrics and identical aggregates at 1, 2 and 8 threads.
+  run_config cfg;
+  cfg.trials = 64;
+  cfg.seed = 12345;
+
+  std::vector<trial_results> runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    runs.push_back(run_trials(cfg, noisy_trial));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i].per_trial.size(), runs[0].per_trial.size());
+    for (std::size_t t = 0; t < runs[0].per_trial.size(); ++t) {
+      const auto& a = runs[0].per_trial[t].items();
+      const auto& b = runs[i].per_trial[t].items();
+      ASSERT_EQ(a, b) << "trial " << t << " differs at threads run " << i;
+    }
+  }
+}
+
+TEST(Runner, SeedChangesResults) {
+  run_config a;
+  a.trials = 8;
+  a.threads = 1;
+  a.seed = 1;
+  run_config b = a;
+  b.seed = 2;
+  const auto ra = run_trials(a, noisy_trial);
+  const auto rb = run_trials(b, noisy_trial);
+  int diffs = 0;
+  for (std::size_t t = 0; t < 8; ++t)
+    if (ra.per_trial[t].get("value") != rb.per_trial[t].get("value")) ++diffs;
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Runner, PerTrialStreamsDoNotOverlap) {
+  // Draw a window from every trial's stream; any collision between windows
+  // would mean two trials shared (part of) a stream.
+  const std::size_t trials = 32;
+  const int window = 64;
+  run_config cfg;
+  cfg.trials = trials;
+  cfg.threads = 1;
+  cfg.seed = 99;
+
+  std::vector<std::vector<std::uint64_t>> draws(trials);
+  const auto res =
+      run_trials(cfg, [&draws, window](std::size_t trial, rng& r) {
+        for (int i = 0; i < window; ++i) draws[trial].push_back(r());
+        metrics m;
+        m.set("ok", 1);
+        return m;
+      });
+  ASSERT_EQ(res.per_trial.size(), trials);
+
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (const auto& w : draws) {
+    for (const std::uint64_t v : w) {
+      seen.insert(v);
+      ++total;
+    }
+  }
+  // 2048 draws of 64-bit values: any repeat at all would be a stream overlap
+  // (or a catastrophically broken generator).
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(Runner, StreamBaseShiftsStreams) {
+  run_config a;
+  a.trials = 4;
+  a.threads = 1;
+  a.seed = 7;
+  run_config b = a;
+  b.stream_base = 1;
+  const auto ra = run_trials(a, noisy_trial);
+  const auto rb = run_trials(b, noisy_trial);
+  // Trial t of run b uses stream t+1 = trial t+1 of run a.
+  EXPECT_EQ(rb.per_trial[0].get("value"), ra.per_trial[1].get("value"));
+  EXPECT_NE(ra.per_trial[0].get("value"), rb.per_trial[0].get("value"));
+}
+
+TEST(Runner, PropagatesTrialExceptions) {
+  run_config cfg;
+  cfg.trials = 16;
+  cfg.threads = 4;
+  EXPECT_THROW(
+      static_cast<void>(run_trials(cfg,
+                                   [](std::size_t trial, rng&) -> metrics {
+                                     if (trial == 7)
+                                       throw std::runtime_error("boom");
+                                     metrics m;
+                                     m.set("ok", 1);
+                                     return m;
+                                   })),
+      std::runtime_error);
+}
+
+TEST(Metrics, SetOverwritesAndPreservesOrder) {
+  metrics m;
+  m.set("a", 1);
+  m.set("b", 2);
+  m.set("a", 3);
+  ASSERT_EQ(m.items().size(), 2u);
+  EXPECT_EQ(m.items()[0].first, "a");
+  EXPECT_DOUBLE_EQ(m.get("a"), 3);
+  EXPECT_FALSE(m.has("c"));
+  EXPECT_THROW(static_cast<void>(m.get("c")), contract_error);
+}
+
+TEST(Aggregate, SkipsMissingMetricsPerTrial) {
+  std::vector<metrics> per_trial(3);
+  per_trial[0].set("always", 1);
+  per_trial[1].set("always", 2);
+  per_trial[2].set("always", 3);
+  per_trial[1].set("sometimes", 10);
+  const auto agg = aggregate(per_trial);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].name, "always");
+  EXPECT_EQ(agg[0].stats.count, 3u);
+  EXPECT_DOUBLE_EQ(agg[0].stats.mean, 2.0);
+  EXPECT_EQ(agg[1].name, "sometimes");
+  EXPECT_EQ(agg[1].stats.count, 1u);
+  EXPECT_DOUBLE_EQ(agg[1].stats.mean, 10.0);
+}
+
+experiment make_toy_experiment() {
+  experiment e;
+  e.id = "toy";
+  e.title = "toy";
+  e.claim = "none";
+  e.profile = "n/a";
+  e.make_scenarios = [] {
+    std::vector<scenario> out;
+    for (const int p : {1, 2}) {
+      scenario sc;
+      sc.label = "p=" + std::to_string(p);
+      sc.params = {{"p", static_cast<double>(p)}};
+      sc.run = [p](std::size_t trial, rng& r) {
+        metrics m;
+        m.set("x", static_cast<double>(r.uniform(100) + 100u * p));
+        m.set("trial", static_cast<double>(trial));
+        return m;
+      };
+      out.push_back(std::move(sc));
+    }
+    return out;
+  };
+  return e;
+}
+
+TEST(Experiment, JsonByteIdenticalAcrossThreadCounts) {
+  const experiment e = make_toy_experiment();
+  run_config cfg;
+  cfg.trials = 32;
+  cfg.seed = 4242;
+
+  std::vector<std::string> dumps;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    dumps.push_back(to_json(e, run_experiment(e, cfg)).dump(2));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+TEST(Experiment, ScenariosUseDisjointStreams) {
+  const experiment e = make_toy_experiment();
+  run_config cfg;
+  cfg.trials = 16;
+  cfg.threads = 1;
+  const auto r = run_experiment(e, cfg);
+  ASSERT_EQ(r.scenarios.size(), 2u);
+  // Scenario stream bases differ, so the raw draws differ even though both
+  // scenarios share the run seed (the +100*p offset is removed first).
+  const auto* a = r.scenarios[0].find("x");
+  const auto* b = r.scenarios[1].find("x");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->mean - 100.0, b->mean - 200.0);
+}
+
+TEST(Experiment, MaxTrialsCapApplies) {
+  experiment e = make_toy_experiment();
+  e.make_scenarios = [base = e.make_scenarios] {
+    auto scenarios = base();
+    scenarios[0].max_trials = 3;
+    return scenarios;
+  };
+  run_config cfg;
+  cfg.trials = 10;
+  cfg.threads = 2;
+  const auto r = run_experiment(e, cfg);
+  EXPECT_EQ(r.scenarios[0].trials, 3u);
+  EXPECT_EQ(r.scenarios[1].trials, 10u);
+  EXPECT_EQ(r.scenarios[0].find("x")->count, 3u);
+}
+
+TEST(Json, ScalarFormatting) {
+  EXPECT_EQ(json_value().dump(), "null");
+  EXPECT_EQ(json_value(true).dump(), "true");
+  EXPECT_EQ(json_value(3.0).dump(), "3");
+  EXPECT_EQ(json_value(-17.0).dump(), "-17");
+  EXPECT_EQ(json_value(0.5).dump(), "0.5");
+  EXPECT_EQ(json_value("hi\"\n").dump(), "\"hi\\\"\\n\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  json_value o = json_value::object();
+  o["z"] = 1;
+  o["a"] = 2;
+  o["z"] = 3;  // overwrite keeps position
+  EXPECT_EQ(o.dump(), "{\"z\":3,\"a\":2}");
+  json_value arr = json_value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+}
+
+TEST(Cli, ParsesAllFlags) {
+  const char* argv[] = {"bench_suite", "--experiment", "e1", "--trials", "64",
+                        "--threads",   "8",            "--seed", "5",
+                        "--json",      "out.json"};
+  cli_options opt;
+  ASSERT_TRUE(parse_cli(11, const_cast<char**>(argv), opt));
+  EXPECT_EQ(opt.experiment, "e1");
+  EXPECT_EQ(opt.trials, 64u);
+  EXPECT_EQ(opt.threads, 8u);
+  EXPECT_EQ(opt.seed, 5u);
+  EXPECT_EQ(opt.json_path, "out.json");
+}
+
+TEST(Cli, RejectsBadInput) {
+  cli_options opt;
+  const char* bad_flag[] = {"x", "--nope"};
+  EXPECT_FALSE(parse_cli(2, const_cast<char**>(bad_flag), opt));
+  const char* bad_num[] = {"x", "--trials", "abc"};
+  EXPECT_FALSE(parse_cli(3, const_cast<char**>(bad_num), opt));
+  const char* zero_trials[] = {"x", "--trials", "0"};
+  EXPECT_FALSE(parse_cli(3, const_cast<char**>(zero_trials), opt));
+}
+
+}  // namespace
+}  // namespace rn::sim
