@@ -4,6 +4,7 @@
 #include "coding/gf2.h"
 #include "common/rng.h"
 #include "core/gst_centralized.h"
+#include "core/gst_distributed.h"
 #include "graph/generators.h"
 #include "radio/network.h"
 
@@ -25,6 +26,45 @@ static void BM_NetworkStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_NetworkStep)->Arg(64)->Arg(512)->Arg(4096);
+
+// Fast-forwarding idle rounds must stay O(1) per call regardless of graph
+// size — this tracks the advance() hot path (and would catch any accidental
+// per-node work creeping into it).
+static void BM_NetworkAdvance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
+  radio::network net(g, {.collision_detection = true});
+  for (auto _ : state) {
+    net.advance(1 << 20);
+    benchmark::DoNotOptimize(net.now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkAdvance)->Arg(64)->Arg(4096);
+
+// End-to-end fast-forwarded Theorem 2.1 construction: the protocol simulates
+// ~10^6 rounds; wall-clock here tracks how well the quiet-round analysis
+// collapses them (the CI perf gate trends this).
+static void BM_GstConstructionFastForward(benchmark::State& state) {
+  graph::layered_options lo;
+  lo.depth = static_cast<std::size_t>(state.range(0));
+  lo.width = 4;
+  lo.edge_prob = 0.4;
+  lo.seed = 5;
+  const auto g = graph::random_layered(lo);
+  core::distributed_gst_options opt;
+  opt.seed = 11;
+  opt.prm = core::params::fast();
+  opt.fast_forward = true;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    auto out = core::build_gst_distributed_single(g, 0, opt);
+    rounds = out.rounds;
+    benchmark::DoNotOptimize(out.parent_rank.data());
+  }
+  state.counters["protocol_rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_GstConstructionFastForward)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 static void BM_Gf2DecoderInsert(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));

@@ -7,6 +7,7 @@
 #include "core/api.h"
 #include "experiments/experiments.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -35,6 +36,7 @@ void register_e2(sim::registry& reg) {
         lo.seed = r();
         const auto g = graph::random_layered(lo);
         core::run_options opt;
+        opt.fast_forward = sim::use_fast_forward();
         opt.prm = core::params::fast();
         sim::metrics m;
         for (const auto& [name, alg] :

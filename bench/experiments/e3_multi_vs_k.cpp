@@ -10,6 +10,7 @@
 #include "core/multi_broadcast.h"
 #include "experiments/experiments.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -46,6 +47,7 @@ void register_e3(sim::registry& reg) {
           core::run_options opt;
           opt.seed = r();
           opt.prm = core::params::fast();
+          opt.fast_forward = sim::use_fast_forward();
           m.set(name,
                 static_cast<double>(
                     core::run_multi(g, 0, k, alg, opt).rounds_to_complete));
@@ -55,6 +57,7 @@ void register_e3(sim::registry& reg) {
         opt.seed = r();
         opt.prm = core::params::fast();
         opt.payload_size = 16;
+        opt.fast_forward = sim::use_fast_forward();
         const auto msgs = coding::make_test_messages(k, 16, 7);
         const auto res = core::run_unknown_cd_multi_broadcast(g, 0, msgs, opt);
         round_t setup = 0;

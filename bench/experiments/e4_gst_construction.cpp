@@ -11,6 +11,7 @@
 #include "core/gst_distributed.h"
 #include "experiments/experiments.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -45,6 +46,7 @@ void register_e4(sim::registry& reg) {
         core::distributed_gst_options opt;
         opt.seed = r();
         opt.prm = core::params::fast();
+        opt.fast_forward = sim::use_fast_forward();
         opt.pipelined = true;
         const auto p = core::build_gst_distributed_single(g, 0, opt);
         opt.pipelined = false;

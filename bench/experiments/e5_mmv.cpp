@@ -12,6 +12,7 @@
 #include "experiments/experiments.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -71,6 +72,7 @@ void register_e5(sim::registry& reg) {
           opt.seed = r();
           opt.mmv_noise = v.noise;
           opt.classic_levels = v.classic;
+          opt.fast_forward = sim::use_fast_forward();
           res = core::run_gst_single_broadcast(g, t, d, {0}, opt);
         }
         return sim::of_broadcast_result(res);

@@ -9,6 +9,7 @@
 #include "core/recruiting.h"
 #include "experiments/experiments.h"
 #include "graph/graph.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -46,8 +47,8 @@ void register_e6(sim::registry& reg) {
           if (g.degree(static_cast<node_id>(half + blue)) > 0)
             blues.push_back(static_cast<node_id>(half + blue));
         const int iters = 6 * L * L;
-        const auto res =
-            core::run_recruiting(g, reds, blues, L, iters, L, r());
+        const auto res = core::run_recruiting(g, reds, blues, L, iters,
+                                              L, r(), sim::use_fast_forward());
         sim::metrics m;
         m.set("rounds", static_cast<double>(res.rounds));
         m.set("rounds_per_L3",

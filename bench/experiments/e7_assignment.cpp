@@ -11,6 +11,7 @@
 #include "core/assignment.h"
 #include "experiments/experiments.h"
 #include "graph/graph.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -44,8 +45,9 @@ void register_e7(sim::registry& reg) {
       for (node_id blue = 0; blue < half; ++blue)
         if (g.degree(static_cast<node_id>(half + blue)) > 0)
           blues.push_back(static_cast<node_id>(half + blue));
-      const auto res = core::run_assignment(g, reds, blues, 1, L, 2 * L, 3 * L,
-                                            4 * L * L, L, r());
+      const auto res =
+          core::run_assignment(g, reds, blues, 1, L, 2 * L, 3 * L, 4 * L * L,
+                               L, r(), sim::use_fast_forward());
       sim::metrics m;
       m.set("all_assigned", res.all_assigned ? 1.0 : 0.0);
       m.set("fallbacks", static_cast<double>(res.fallback_finalizations +

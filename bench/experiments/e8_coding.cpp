@@ -1,6 +1,10 @@
 // E8 — coding layer: RLNC decode overhead, FEC fountain overhead, and the
 // generation-size ablation behind [DEV-7] / paper footnote 5.
 //
+// (No radio rounds are simulated here, so there is nothing for the
+// fast-forward engine to skip — this is the one experiment that does not opt
+// into sim::use_fast_forward().)
+//
 // Claims: random GF(2) combinations decode after k + O(1) innovative packets
 // (expected overhead ~1.6 packets, no coupon-collector term); splitting k
 // messages into generations of size b trades header bits (b per packet) for

@@ -10,6 +10,7 @@
 #include "experiments/experiments.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -32,7 +33,6 @@ void register_e9(sim::registry& reg) {
       sim::scenario sc;
       sc.label = "divisor=" + std::to_string(static_cast<int>(divisor));
       sc.params = {{"ring_divisor", divisor}};
-      sc.max_trials = 4;  // each trial runs the full Thm 1.1 pipeline
       sc.run = [divisor](std::size_t, rng& r) {
         graph::layered_options lo;
         lo.depth = 24;
@@ -44,6 +44,7 @@ void register_e9(sim::registry& reg) {
         opt.seed = r();
         opt.prm = core::params::fast();
         opt.prm.ring_divisor = divisor;
+        opt.fast_forward = sim::use_fast_forward();
         const auto res = core::run_unknown_cd_single_broadcast(g, 0, opt);
         round_t setup = 0, relay = 0;
         for (const auto& [name, rounds] : res.phase_rounds)

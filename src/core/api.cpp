@@ -47,6 +47,7 @@ radio::broadcast_result run_single(const graph::graph& g, node_id source,
       o.d_hat = opt.d_hat;
       o.seed = opt.seed;
       o.prm = opt.prm;
+      o.fast_forward = opt.fast_forward;
       return run_known_single_broadcast(g, source, o);
     }
     case single_algorithm::gst_unknown_cd: {
@@ -55,6 +56,7 @@ radio::broadcast_result run_single(const graph::graph& g, node_id source,
       o.d_hat = opt.d_hat;
       o.seed = opt.seed;
       o.prm = opt.prm;
+      o.fast_forward = opt.fast_forward;
       return run_unknown_cd_single_broadcast(g, source, o);
     }
   }
@@ -87,6 +89,7 @@ radio::broadcast_result run_multi(const graph::graph& g, node_id source,
       o.seed = opt.seed;
       o.prm = opt.prm;
       o.payload_size = opt.payload_size;
+      o.fast_forward = opt.fast_forward;
       const auto msgs = coding::make_test_messages(k, opt.payload_size,
                                                    opt.seed ^ 0x5eedULL);
       auto res = run_known_multi_broadcast(g, source, msgs, o);
@@ -100,6 +103,7 @@ radio::broadcast_result run_multi(const graph::graph& g, node_id source,
       o.seed = opt.seed;
       o.prm = opt.prm;
       o.payload_size = opt.payload_size;
+      o.fast_forward = opt.fast_forward;
       const auto msgs = coding::make_test_messages(k, opt.payload_size,
                                                    opt.seed ^ 0x5eedULL);
       auto res = run_unknown_cd_multi_broadcast(g, source, msgs, o);

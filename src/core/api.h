@@ -34,6 +34,10 @@ struct run_options {
   std::uint64_t seed = 1;
   params prm = params::paper();
   std::size_t payload_size = 32;
+  /// Fast-forward transmitter-free rounds in the GST-based algorithms
+  /// (bit-identical results; ignored by the Decay baselines, which schedule
+  /// a coin flip for every informed node every round).
+  bool fast_forward = false;
 };
 
 /// Runs a single-message broadcast with the chosen algorithm.

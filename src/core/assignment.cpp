@@ -410,8 +410,53 @@ void assignment_problem::end_round() {
   ++phase_pos_;
   --rounds_left_;
   if (rounds_left_ > 0) return;
+  advance_subphase();
+}
 
-  // Sub-phase transition.
+round_t assignment_problem::quiet_rounds() const {
+  switch (sub_) {
+    case sub_phase::p0_ident:
+      // Every blue draws an announcement coin each round.
+      return blues_.empty() ? rounds_left_ : 0;
+    case sub_phase::s1_probe: {
+      // Single deterministic round: transmitters are the active reds.
+      for (node_id v : red_candidates_)
+        if (red_active_[v]) return 0;
+      return rounds_left_;
+    }
+    case sub_phase::s1_decay: {
+      // Only unassigned loner blues flip coins / transmit.
+      for (node_id u : blues_)
+        if (blue_is_loner_[u] && !cfg_.st->assigned[u]) return 0;
+      return rounds_left_;
+    }
+    case sub_phase::part1:
+    case sub_phase::part2:
+    case sub_phase::part3:
+      return std::min(rounds_left_, recruit_->quiet_rounds());
+    case sub_phase::s3_adopt:
+      // Only stage-III announcers flip coins / transmit.
+      return announcers_.empty() ? rounds_left_ : 0;
+    case sub_phase::done:
+      return 0;
+  }
+  return 0;
+}
+
+void assignment_problem::skip_rounds(round_t k) {
+  RN_REQUIRE(k >= 0 && k <= rounds_left_, "skip beyond sub-phase");
+  if (k == 0 || finished()) return;
+  // Epoch bookkeeping that naive stepping performs inside plan().
+  if (sub_ == sub_phase::s1_probe && phase_pos_ == 0) start_epoch();
+  if (sub_ == sub_phase::part1 || sub_ == sub_phase::part2 ||
+      sub_ == sub_phase::part3)
+    recruit_->skip_rounds(k);
+  phase_pos_ += k;
+  rounds_left_ -= k;
+  if (rounds_left_ == 0) advance_subphase();
+}
+
+void assignment_problem::advance_subphase() {
   switch (sub_) {
     case sub_phase::p0_ident: {
       blue_temp_this_epoch_.assign(cfg_.g->node_count(), 0);
@@ -467,7 +512,7 @@ assignment_run_result run_assignment(const graph::graph& g,
                                      int decay_phases, int epochs,
                                      int recruit_iterations,
                                      int recruit_exp_step,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed, bool fast_forward) {
   assignment_run_result res;
   res.st = build_state(g.node_count());
   auto& st = res.st;
@@ -500,6 +545,14 @@ assignment_run_result run_assignment(const graph::graph& g,
   radio::network net(g, {.collision_detection = false});
   std::vector<radio::network::tx> txs;
   while (!prob.finished()) {
+    if (fast_forward) {
+      const round_t q = prob.quiet_rounds();
+      if (q > 0) {
+        net.advance(q);
+        prob.skip_rounds(q);
+        continue;
+      }
+    }
     txs.clear();
     prob.plan(txs);
     net.step(txs, [&](const radio::reception& rx) { prob.on_reception(rx); });

@@ -90,6 +90,18 @@ class assignment_problem {
   void on_reception(const radio::reception& rx);
   void end_round();
 
+  /// Fast-forward support: number of upcoming consumed rounds guaranteed
+  /// *quiet* — plan() would produce no transmission and draw no randomness,
+  /// provided nothing is received (sound whenever every problem sharing those
+  /// rounds is quiet too, since then nobody transmits at all). Never crosses
+  /// a sub-phase boundary, so sub-phase transition side effects (brisk/lazy
+  /// coins, recruiting part construction) happen exactly where naive stepping
+  /// performs them.
+  [[nodiscard]] round_t quiet_rounds() const;
+  /// Skips `k` quiet rounds (k <= quiet_rounds()); performs the same
+  /// bookkeeping and sub-phase transitions as k empty plan/end_round cycles.
+  void skip_rounds(round_t k);
+
   /// Active (not yet retired) reds at the start of each epoch — the quantity
   /// whose geometric decay Lemma 2.4 proves (experiment E7).
   [[nodiscard]] const std::vector<std::size_t>& epoch_active_reds() const {
@@ -143,6 +155,7 @@ class assignment_problem {
 
   [[nodiscard]] rng& node_rng(node_id v);
   void enter(sub_phase s);
+  void advance_subphase();
   void start_epoch();
   void build_part(int part);
   void apply_part_results(int part);
@@ -167,6 +180,6 @@ struct assignment_run_result {
     const graph::graph& g, const std::vector<node_id>& reds,
     const std::vector<node_id>& blues, rank_t target_rank, int L,
     int decay_phases, int epochs, int recruit_iterations, int recruit_exp_step,
-    std::uint64_t seed);
+    std::uint64_t seed, bool fast_forward = false);
 
 }  // namespace rn::core

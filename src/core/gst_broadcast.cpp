@@ -1,9 +1,11 @@
 #include "core/gst_broadcast.h"
 
 #include <memory>
+#include <numeric>
 
 #include "common/check.h"
 #include "common/math.h"
+#include "core/runner.h"
 #include "core/schedule.h"
 #include "radio/network.h"
 
@@ -27,7 +29,14 @@ radio::broadcast_result finish(const radio::network& net,
   res.transmissions = net.stats().transmissions;
   res.deliveries = net.stats().deliveries;
   res.collisions_observed = net.stats().collisions_observed;
+  res.energy = net.energy();
   return res;
+}
+
+std::vector<node_id> all_nodes(std::size_t n) {
+  std::vector<node_id> out(n);
+  std::iota(out.begin(), out.end(), node_id{0});
+  return out;
 }
 
 }  // namespace
@@ -63,30 +72,51 @@ radio::broadcast_result run_gst_single_broadcast(
   body->data = {0x6d, 0x73, 0x67};
   std::vector<radio::network::tx> txs;
 
-  for (round_t r = 0; r < max_rounds; ++r) {
-    txs.clear();
-    for (node_id v = 0; v < n; ++v) {
-      if (!t.member[v]) continue;
-      const auto a = sched.query(v, r, node_rng[v]);
-      if (a == gst_schedule::action::none) continue;
-      // With a single message every informed node transmits the message
-      // itself in both fast and slow slots; uninformed prompted nodes jam in
-      // MMV mode and stay silent otherwise.
-      if (informed[v])
-        txs.push_back({v, radio::packet::make_data(0, body)});
-      else if (opt.mmv_noise)
-        txs.push_back({v, radio::packet::make_noise()});
+  // Bucketed planning: per round only the nodes whose schedule (and coin)
+  // that round consults are visited — observably identical to the full scan.
+  const gst_schedule_index idx(sched, all_nodes(n));
+  round_sink sink(net, opt.fast_forward);
+  const auto on_rx = [&](const radio::reception& rx) {
+    if (rx.what == radio::observation::message &&
+        rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
+      informed[rx.listener] = 1;
+      tracker.mark(rx.listener);
     }
-    net.step(txs, [&](const radio::reception& rx) {
-      if (rx.what == radio::observation::message &&
-          rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
-        informed[rx.listener] = 1;
-        tracker.mark(rx.listener);
+  };
+
+  for (round_t r = 0; r < max_rounds; ++r) {
+    // Naive stepping executes one more (possibly empty) round after the run
+    // completes before noticing; force-step it so both modes agree.
+    const bool completing = opt.stop_when_complete && tracker.all_done();
+    txs.clear();
+    if (r % 2 == 0) {
+      for (node_id v : idx.fast_bucket(r)) {
+        if (!informed[v] && !opt.mmv_noise) continue;
+        if (sched.query(v, r, node_rng[v]) == gst_schedule::action::none)
+          continue;
+        if (informed[v])
+          txs.push_back({v, radio::packet::make_data(0, body)});
+        else
+          txs.push_back({v, radio::packet::make_noise()});
       }
-    });
-    tracker.observe_round(net.stats().rounds);
-    if (opt.stop_when_complete && tracker.all_done()) break;
+    } else {
+      for (node_id v : idx.slow_bucket(r)) {
+        // The coin is flipped for uninformed nodes too, exactly as in the
+        // naive full scan.
+        if (sched.query(v, r, node_rng[v]) == gst_schedule::action::none)
+          continue;
+        if (informed[v])
+          txs.push_back({v, radio::packet::make_data(0, body)});
+        else if (opt.mmv_noise)
+          txs.push_back({v, radio::packet::make_noise()});
+      }
+    }
+    if (sink.commit(txs, on_rx, completing)) {
+      tracker.observe_round(net.stats().rounds);
+      if (opt.stop_when_complete && tracker.all_done()) break;
+    }
   }
+  sink.flush();
   return finish(net, tracker);
 }
 
@@ -148,36 +178,44 @@ radio::broadcast_result run_gst_rlnc_broadcast(
   };
 
   std::vector<radio::network::tx> txs;
-  for (round_t r = 0; r < max_rounds; ++r) {
-    txs.clear();
-    for (node_id v = 0; v < n; ++v) {
-      if (!t.member[v]) continue;
-      const auto a = sched.query(v, r, node_rng[v]);
-      if (a == gst_schedule::action::none) continue;
-      if (a == gst_schedule::action::fast && !d.is_stretch_head[v]) {
-        // Relay role: forward the predecessor's packet verbatim.
-        if (relay[v]) txs.push_back({v, radio::packet::make_coded(0, relay[v])});
-        continue;
-      }
-      // Stretch heads (fast) and all slow prompts send fresh combinations.
-      if (buf[v].has_anything()) txs.push_back({v, fresh_packet(v)});
+  const gst_schedule_index idx(sched, all_nodes(n));
+  round_sink sink(net, opt.fast_forward);
+  const auto on_rx = [&](const radio::reception& rx) {
+    if (rx.what != radio::observation::message ||
+        rx.pkt->kind != radio::packet_kind::coded)
+      return;
+    const node_id v = rx.listener;
+    if (!t.member[v]) return;
+    buf[v].receive(rx.pkt->body->coeffs, rx.pkt->body->data);
+    if (buf[v].can_decode()) tracker.mark(v);
+    // Remember stretch-predecessor packets for relaying: the predecessor is
+    // this node's parent when both share a rank.
+    if (rx.from == t.parent[v] && !d.is_stretch_head[v])
+      relay[v] = rx.pkt->body;
+  };
+  auto plan = [&](node_id v, gst_schedule::action a) {
+    if (a == gst_schedule::action::fast && !d.is_stretch_head[v]) {
+      // Relay role: forward the predecessor's packet verbatim.
+      if (relay[v]) txs.push_back({v, radio::packet::make_coded(0, relay[v])});
+      return;
     }
-    net.step(txs, [&](const radio::reception& rx) {
-      if (rx.what != radio::observation::message ||
-          rx.pkt->kind != radio::packet_kind::coded)
-        return;
-      const node_id v = rx.listener;
-      if (!t.member[v]) return;
-      buf[v].receive(rx.pkt->body->coeffs, rx.pkt->body->data);
-      if (buf[v].can_decode()) tracker.mark(v);
-      // Remember stretch-predecessor packets for relaying: the predecessor is
-      // this node's parent when both share a rank.
-      if (rx.from == t.parent[v] && !d.is_stretch_head[v])
-        relay[v] = rx.pkt->body;
-    });
-    tracker.observe_round(net.stats().rounds);
-    if (opt.stop_when_complete && tracker.all_done()) break;
+    // Stretch heads (fast) and all slow prompts send fresh combinations.
+    if (buf[v].has_anything()) txs.push_back({v, fresh_packet(v)});
+  };
+
+  for (round_t r = 0; r < max_rounds; ++r) {
+    const bool completing = opt.stop_when_complete && tracker.all_done();
+    txs.clear();
+    for (node_id v : r % 2 == 0 ? idx.fast_bucket(r) : idx.slow_bucket(r)) {
+      const auto a = sched.query(v, r, node_rng[v]);
+      if (a != gst_schedule::action::none) plan(v, a);
+    }
+    if (sink.commit(txs, on_rx, completing)) {
+      tracker.observe_round(net.stats().rounds);
+      if (opt.stop_when_complete && tracker.all_done()) break;
+    }
   }
+  sink.flush();
 
   auto res = finish(net, tracker);
   if (decoders != nullptr) *decoders = std::move(buf);

@@ -29,6 +29,9 @@ struct gst_broadcast_options {
   bool mmv_noise = false;      ///< prompted nodes without data jam (Def. 3.1)
   bool classic_levels = false; ///< slow keyed by level (E5 ablation)
   bool stop_when_complete = true;
+  /// Skip transmitter-free rounds via network::advance (bit-identical
+  /// results; see README "Fast-forward execution").
+  bool fast_forward = false;
   params prm = params::paper();
 };
 
@@ -44,6 +47,7 @@ struct rlnc_broadcast_options {
   round_t max_rounds = 0;
   std::uint64_t seed = 1;
   bool stop_when_complete = true;
+  bool fast_forward = false;  ///< as in gst_broadcast_options
   params prm = params::paper();
 };
 

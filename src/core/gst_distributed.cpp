@@ -121,7 +121,41 @@ distributed_gst_outcome build_gst_distributed(
       ++next_problem;
     }
 
-    for (round_t r = 0; r < slot_len; ++r) {
+    for (round_t r = 0; r < slot_len;) {
+      if (opt.fast_forward) {
+        // Fast-forward: find the longest run of rounds starting at r in which
+        // every consuming problem is quiet (plans nothing, draws nothing).
+        // With nobody transmitting there are no receptions either, so the
+        // whole run collapses to network::advance + per-problem bookkeeping.
+        // In pipelined mode a problem of class c consumes only rounds
+        // t ≡ c (mod 3); its quiet budget q therefore spans the next
+        // d + 3q engine rounds, d = distance to its next consumed round.
+        round_t k = slot_len - r;
+        for (const auto& ap : active) {
+          if (ap.prob->finished()) continue;
+          const round_t q = ap.prob->quiet_rounds();
+          if (opt.pipelined) {
+            const round_t d = (ap.meta.round_class - r % 3 + 3) % 3;
+            k = std::min(k, d + 3 * q);
+          } else {
+            k = std::min(k, q);
+          }
+        }
+        if (k > 0) {
+          for (auto& ap : active) {
+            if (ap.prob->finished()) continue;
+            round_t consumed = k;
+            if (opt.pipelined) {
+              const round_t d = (ap.meta.round_class - r % 3 + 3) % 3;
+              consumed = k > d ? (k - d + 2) / 3 : 0;
+            }
+            if (consumed > 0) ap.prob->skip_rounds(consumed);
+          }
+          net.advance(k);
+          r += k;
+          continue;
+        }
+      }
       txs.clear();
       const int cls = static_cast<int>(r % 3);
       auto consumes = [&](const active_problem& ap) {
@@ -138,6 +172,7 @@ distributed_gst_outcome build_gst_distributed(
       if (!any && txs.empty()) {
         // No problem consumes this round; still burn it for faithful timing.
         net.step(txs, nullptr);
+        ++r;
         continue;
       }
       net.step(txs, [&](const radio::reception& rx) {
@@ -156,6 +191,7 @@ distributed_gst_outcome build_gst_distributed(
       });
       for (auto& ap : active)
         if (consumes(ap)) ap.prob->end_round();
+      ++r;
     }
   }
 

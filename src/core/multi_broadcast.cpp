@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/gst_broadcast.h"
 #include "core/gst_centralized.h"
+#include "core/runner.h"
 #include "core/schedule.h"
 #include "radio/network.h"
 
@@ -31,6 +32,7 @@ multi_broadcast_result run_known_multi_broadcast(
   bo.seed = opt.seed;
   bo.prm = opt.prm;
   bo.max_rounds = opt.max_rounds;
+  bo.fast_forward = opt.fast_forward;
 
   std::vector<coding::rlnc_node> decoders;
   multi_broadcast_result out;
@@ -66,6 +68,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
   so.d_hat = opt.d_hat;
   so.seed = opt.seed;
   so.prm = opt.prm;
+  so.fast_forward = opt.fast_forward;
   auto setup = prepare_unknown_topology(g, source, so);
   const std::size_t ring_count = setup.rings.rings.size();
 
@@ -114,7 +117,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
   for (node_id v = 0; v < n; ++v)
     node_rng.push_back(rng::for_stream(opt.seed ^ 0x3517ULL, v));
 
-  // Schedules per ring.
+  // Schedules (and per-round candidate buckets) per ring.
   std::vector<gst_schedule> scheds;
   scheds.reserve(ring_count);
   level_t w_max = 0;
@@ -122,6 +125,10 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
     scheds.emplace_back(setup.forests[j], setup.derived[j], n_hat, true);
     w_max = std::max(w_max, setup.rings.rings[j].depth);
   }
+  std::vector<gst_schedule_index> sched_idx;
+  sched_idx.reserve(ring_count);
+  for (std::size_t j = 0; j < ring_count; ++j)
+    sched_idx.emplace_back(scheds[j], setup.rings.rings[j].members);
   const round_t intra_budget = static_cast<round_t>(
       opt.prm.schedule_slack *
       (6.0 * w_max + 48.0 * L * L +
@@ -163,6 +170,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
   };
 
   std::vector<radio::network::tx> txs;
+  core::round_sink sink(net, opt.fast_forward);
   const std::size_t super_epochs = ring_count + B;  // one slack epoch
   round_t pipeline_rounds = 0;
   for (std::size_t e = 0; e < super_epochs; ++e) {
@@ -174,7 +182,11 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
         if (e < j || e - j >= B) continue;
         const std::size_t b = e - j;
         const auto& der = setup.derived[j];
-        for (node_id v : setup.rings.rings[j].members) {
+        // Bucketed planning — the exact members whose schedule (and coin)
+        // round r consults, in member order (see gst_schedule_index).
+        const auto& bucket = r % 2 == 0 ? sched_idx[j].fast_bucket(r)
+                                        : sched_idx[j].slow_bucket(r);
+        for (node_id v : bucket) {
           const auto a = scheds[j].query(v, r, node_rng[v]);
           if (a == gst_schedule::action::none) continue;
           if (a == gst_schedule::action::fast && !der.is_stretch_head[v]) {
@@ -187,8 +199,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
             txs.push_back({v, fresh_packet(v, b)});
         }
       }
-      net.step(txs, on_rx);
-      tracker.observe_round(net.stats().rounds);
+      if (sink.commit(txs, on_rx)) tracker.observe_round(net.stats().rounds);
     }
     pipeline_rounds += intra_budget;
 
@@ -208,12 +219,12 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
               txs.push_back({v, fresh_packet(v, b)});
           }
         }
-        net.step(txs, on_rx);
-        tracker.observe_round(net.stats().rounds);
+        if (sink.commit(txs, on_rx)) tracker.observe_round(net.stats().rounds);
       }
     }
     pipeline_rounds += static_cast<round_t>(handoff_phases) * (L + 1);
   }
+  sink.flush();
   out.base.phase_rounds.emplace_back("batch_pipeline", pipeline_rounds);
 
   out.base.completed = tracker.all_done();
@@ -225,6 +236,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
   out.base.transmissions = net.stats().transmissions;
   out.base.deliveries = net.stats().deliveries;
   out.base.collisions_observed = net.stats().collisions_observed;
+  out.base.energy = net.energy();
 
   out.payloads_verified = out.base.completed;
   for (node_id v = 0; v < n && out.payloads_verified; ++v) {

@@ -31,6 +31,9 @@ struct multi_broadcast_options {
   params prm = params::paper();
   std::size_t payload_size = 32;  ///< bytes per message
   round_t max_rounds = 0;
+  /// Skip transmitter-free rounds in every phase via network::advance
+  /// (bit-identical results; see README "Fast-forward execution").
+  bool fast_forward = false;
 };
 
 struct multi_broadcast_result {

@@ -29,6 +29,8 @@ recruiting_instance::recruiting_instance(config c) : cfg_(std::move(c)) {
 }
 
 void recruiting_instance::start_iteration() {
+  sent_r1_count_ = 0;
+  heard_count_ = 0;
   for (auto& r : red_) {
     r.sent_r1 = false;
     r.heard.clear();
@@ -57,6 +59,7 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
     for (std::size_t i = 0; i < red_.size(); ++i) {
       if (red_rng_[i].with_probability_pow2(e)) {
         red_[i].sent_r1 = true;
+        ++sent_r1_count_;
         out.push_back({cfg_.reds[i], radio::packet::make_beacon(cfg_.reds[i])});
       }
     }
@@ -138,8 +141,11 @@ void recruiting_instance::on_reception(const radio::reception& rx) {
   if (pos == 0) {
     // Blues record which red they heard.
     const auto bi = blue_idx_[v];
-    if (bi >= 0 && p.kind == radio::packet_kind::beacon)
+    if (bi >= 0 && p.kind == radio::packet_kind::beacon) {
+      if (blue_[static_cast<std::size_t>(bi)].heard_red == no_node)
+        ++heard_count_;
       blue_[static_cast<std::size_t>(bi)].heard_red = p.a;
+    }
     return;
   }
 
@@ -203,6 +209,25 @@ void recruiting_instance::end_round() {
   if (!finished()) ++round_;
 }
 
+round_t recruiting_instance::quiet_rounds() const {
+  if (finished()) return 0;
+  // With no reds nothing can ever transmit or flip a coin: round 0 plans over
+  // an empty red set and no blue can hear a red to answer in rounds 1..L+1.
+  if (cfg_.reds.empty()) return rounds_required() - round_;
+  const int pos = pos_in_iteration();
+  if (pos == 0) return 0;  // round 0 draws one coin per red
+  // A fizzled iteration: nobody beaconed and nobody heard one, so the blue
+  // Decay, response, ack and commit rounds are all provably empty.
+  if (sent_r1_count_ == 0 && heard_count_ == 0)
+    return static_cast<round_t>(cfg_.L + 5 - pos);
+  return 0;
+}
+
+void recruiting_instance::skip_rounds(round_t k) {
+  RN_REQUIRE(k >= 0 && k <= quiet_rounds(), "skip beyond quiet window");
+  round_ += k;
+}
+
 recruiting_instance::red_result recruiting_instance::red(node_id v) const {
   const auto i = red_idx_[v];
   RN_REQUIRE(i >= 0, "node is not a red participant");
@@ -228,7 +253,7 @@ recruiting_run_result run_recruiting(const graph::graph& g,
                                      const std::vector<node_id>& reds,
                                      const std::vector<node_id>& blues, int L,
                                      int iterations, int exp_step,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed, bool fast_forward) {
   recruiting_instance::config cfg;
   cfg.g = &g;
   cfg.reds = reds;
@@ -242,6 +267,14 @@ recruiting_run_result run_recruiting(const graph::graph& g,
   radio::network net(g, {.collision_detection = false});
   std::vector<radio::network::tx> txs;
   while (!inst.finished()) {
+    if (fast_forward) {
+      const round_t q = inst.quiet_rounds();
+      if (q > 0) {
+        net.advance(q);
+        inst.skip_rounds(q);
+        continue;
+      }
+    }
     txs.clear();
     inst.plan(txs);
     net.step(txs,

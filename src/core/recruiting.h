@@ -69,6 +69,18 @@ class recruiting_instance {
   /// Advances the program counter; call exactly once per consumed round.
   void end_round();
 
+  /// Fast-forward support: number of upcoming consumed rounds that are
+  /// guaranteed *quiet* — this instance will plan no transmission and draw no
+  /// randomness in them, provided it receives nothing (which holds whenever
+  /// every participant of those rounds is quiet). Two cases: an instance with
+  /// no reds is quiet for its whole remaining run, and an iteration whose
+  /// round-0 beacon fizzled (no red transmitted, no blue heard one) is quiet
+  /// through its remaining L+4 rounds. 0 = the next round must be planned.
+  [[nodiscard]] round_t quiet_rounds() const;
+  /// Skips `k` quiet rounds (k <= quiet_rounds()) without planning them;
+  /// equivalent to k plan/end_round cycles that produce nothing.
+  void skip_rounds(round_t k);
+
   struct red_result {
     klass k = klass::none;
     node_id solo_child = no_node;  ///< valid iff k == solo
@@ -105,6 +117,8 @@ class recruiting_instance {
 
   config cfg_;
   round_t round_ = 0;
+  std::size_t sent_r1_count_ = 0;   ///< reds that transmitted this iteration's round 0
+  std::size_t heard_count_ = 0;     ///< blues that heard a red this iteration
   std::vector<red_state> red_;
   std::vector<blue_state> blue_;
   std::vector<std::int32_t> red_idx_;   // node -> index or -1
@@ -118,7 +132,9 @@ class recruiting_instance {
 };
 
 /// Standalone driver for tests and experiment E6: runs one full instance on
-/// its own network and reports the outcome.
+/// its own network and reports the outcome. With `fast_forward`, quiet
+/// stretches are skipped via network::advance — identical results, less
+/// wall-clock.
 struct recruiting_run_result {
   round_t rounds = 0;
   std::size_t recruited = 0;
@@ -128,6 +144,6 @@ struct recruiting_run_result {
 [[nodiscard]] recruiting_run_result run_recruiting(
     const graph::graph& g, const std::vector<node_id>& reds,
     const std::vector<node_id>& blues, int L, int iterations, int exp_step,
-    std::uint64_t seed);
+    std::uint64_t seed, bool fast_forward = false);
 
 }  // namespace rn::core

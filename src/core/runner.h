@@ -1,0 +1,73 @@
+// Fast-forward-aware protocol-runner utilities.
+//
+// `round_sink` sits between a protocol runner's per-round planning loop and
+// the radio network. In fast-forward mode it coalesces planned-but-empty
+// rounds (no transmitter scheduled) into a single deferred batch that is
+// flushed as one O(1) `network::advance` call the moment a busy round — or a
+// stats read — needs the round counter to be current. In naive mode every
+// round is stepped individually; both modes produce bit-identical protocol
+// results (see tests/test_fast_forward.cpp), which is what makes the naive
+// path a cross-check oracle for the fast one.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "radio/network.h"
+
+namespace rn::core {
+
+class round_sink {
+ public:
+  round_sink(radio::network& net, bool fast_forward)
+      : net_(&net), ff_(fast_forward) {}
+
+  round_sink(const round_sink&) = delete;
+  round_sink& operator=(const round_sink&) = delete;
+  // Deferred rounds are applied at destruction as a backstop, but callers
+  // must still flush() before reading network statistics — a dtor flush
+  // lands after any stats read in the enclosing scope.
+  ~round_sink() { flush(); }
+
+  [[nodiscard]] bool fast_forward() const { return ff_; }
+
+  /// Commits one planned round. In fast-forward mode an empty round is
+  /// deferred (it cannot deliver anything); otherwise any deferral is flushed
+  /// and the round is stepped. `force` steps even an empty round — used when
+  /// the caller inspects state that naive stepping would only reach after
+  /// executing the round (e.g. a stop-when-complete check). Returns true iff
+  /// the round was stepped.
+  bool commit(const std::vector<radio::network::tx>& txs,
+              const radio::network::rx_callback& on_rx, bool force = false) {
+    if (ff_ && !force && txs.empty()) {
+      ++pending_;
+      return false;
+    }
+    flush();
+    net_->step(txs, on_rx);
+    return true;
+  }
+
+  /// Defers `k` rounds the caller has proven idle (no transmitter can be
+  /// scheduled in them). Only meaningful in fast-forward mode.
+  void advance(round_t k) {
+    RN_REQUIRE(ff_, "round_sink::advance requires fast-forward mode");
+    RN_REQUIRE(k >= 0, "cannot advance by a negative round count");
+    pending_ += k;
+  }
+
+  /// Applies all deferred rounds. Call before reading network statistics.
+  void flush() {
+    if (pending_ > 0) {
+      net_->advance(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  radio::network* net_;
+  bool ff_;
+  round_t pending_ = 0;
+};
+
+}  // namespace rn::core

@@ -36,4 +36,32 @@ gst_schedule::action gst_schedule::query(node_id v, round_t t, rng& r) const {
   return r.with_probability_pow2(e) ? action::slow_prompt : action::none;
 }
 
+round_t gst_schedule::fast_slot(node_id v) const {
+  if (!t_->member[v]) return -1;
+  const level_t l = t_->level[v];
+  const rank_t rk = t_->rank[v];
+  if (l == no_level || rk == no_rank) return -1;
+  if (d_->stretch_child[v] == no_node) return -1;
+  return (2 * (static_cast<round_t>(l) + 3 * rk)) % fast_period();
+}
+
+level_t gst_schedule::slow_key(node_id v) const {
+  if (!t_->member[v]) return no_level;
+  if (t_->level[v] == no_level || t_->rank[v] == no_rank) return no_level;
+  return slow_by_vd_ ? d_->virtual_distance[v] : t_->level[v];
+}
+
+gst_schedule_index::gst_schedule_index(const gst_schedule& s,
+                                       std::span<const node_id> members)
+    : period_(s.fast_period()) {
+  fast_.resize(static_cast<std::size_t>(period_ / 2));
+  slow_.resize(3);
+  for (const node_id v : members) {
+    const round_t slot = s.fast_slot(v);
+    if (slot >= 0) fast_[static_cast<std::size_t>(slot / 2)].push_back(v);
+    const level_t key = s.slow_key(v);
+    if (key != no_level) slow_[static_cast<std::size_t>(key % 3)].push_back(v);
+  }
+}
+
 }  // namespace rn::core

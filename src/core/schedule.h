@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -45,11 +47,52 @@ class gst_schedule {
 
   [[nodiscard]] int log_n() const { return L_; }
 
+  /// The (even) slot within fast_period() at which v fast-transmits, or -1
+  /// if v can never fast-transmit (non-member, unranked, or no same-rank
+  /// child [DEV-3]). Mirrors query()'s even-round condition.
+  [[nodiscard]] round_t fast_slot(node_id v) const;
+
+  /// The key of v's slow schedule (virtual distance, or level in the classic
+  /// ablation), or no_level if v is never slow-prompted. Mirrors query()'s
+  /// odd-round condition: v's slow coin is consulted only in odd rounds t
+  /// with key ≡ (t-1)/2 (mod 3).
+  [[nodiscard]] level_t slow_key(node_id v) const;
+
  private:
   const gst* t_;
   const gst_derived* d_;
   int L_;
   bool slow_by_vd_;
+};
+
+/// Round-indexed buckets over a fixed member set: for any round, the exact
+/// subset of members whose schedule (and randomness) query() would consult.
+/// This is what lets runners compute the next round with any scheduled
+/// transmitter instead of scanning every member every round — iterating a
+/// bucket and calling query() on its nodes is observably identical to the
+/// naive full scan (same transmissions, same coin-flip order), because
+/// query() returns without touching the rng for every non-bucket node.
+class gst_schedule_index {
+ public:
+  /// `members` fixes the iteration order within each bucket (runners pass
+  /// the same order their naive scan used).
+  gst_schedule_index(const gst_schedule& s, std::span<const node_id> members);
+
+  /// Candidates for even (fast) round r: members mapped to this slot.
+  [[nodiscard]] const std::vector<node_id>& fast_bucket(round_t r) const {
+    return fast_[static_cast<std::size_t>((r % period_) / 2)];
+  }
+
+  /// Candidates for odd (slow) round r: members with slow key ≡ (r-1)/2
+  /// (mod 3). Every coin consulted in round r belongs to this bucket.
+  [[nodiscard]] const std::vector<node_id>& slow_bucket(round_t r) const {
+    return slow_[static_cast<std::size_t>(((r - 1) / 2) % 3)];
+  }
+
+ private:
+  round_t period_;
+  std::vector<std::vector<node_id>> fast_;  ///< indexed by slot / 2
+  std::vector<std::vector<node_id>> slow_;  ///< indexed by key mod 3
 };
 
 }  // namespace rn::core

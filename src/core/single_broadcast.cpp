@@ -8,6 +8,7 @@
 #include "core/bfs_protocols.h"
 #include "core/gst_broadcast.h"
 #include "core/gst_centralized.h"
+#include "core/runner.h"
 #include "core/schedule.h"
 #include "core/virtual_distance.h"
 #include "graph/bfs.h"
@@ -25,6 +26,7 @@ radio::broadcast_result run_known_single_broadcast(
   bo.seed = opt.seed;
   bo.prm = opt.prm;
   bo.max_rounds = opt.max_rounds_per_ring;
+  bo.fast_forward = opt.fast_forward;
   return run_gst_single_broadcast(g, t, d, {source}, bo);
 }
 
@@ -51,6 +53,7 @@ unknown_topology_setup prepare_unknown_topology(
   go.n_hat = n_hat;
   go.seed = opt.seed ^ 0x657aULL;
   go.prm = opt.prm;
+  go.fast_forward = opt.fast_forward;
   auto built = build_gst_distributed(g, setup.rings, go);
   setup.construction_rounds = built.rounds;
   setup.fallback_finalizations = built.fallback_finalizations;
@@ -62,7 +65,8 @@ unknown_topology_setup prepare_unknown_topology(
   for (std::size_t j = 0; j < setup.forests.size(); ++j) {
     const gst& t = setup.forests[j];
     auto lab = run_vdist_labeling(g, t, built.parent_rank, built.stretch_child,
-                                  n_hat, opt.prm, opt.seed + 31 * j);
+                                  n_hat, opt.prm, opt.seed + 31 * j,
+                                  opt.fast_forward);
     setup.labeling_rounds += lab.rounds;
     setup.unlabeled += lab.unlabeled;
     auto& der = setup.derived[j];
@@ -120,10 +124,16 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
   };
 
   round_t relay_rounds = 0;
+  round_sink sink(net, opt.fast_forward);
   for (std::size_t j = 0; j < setup.rings.rings.size(); ++j) {
     const gst& t = setup.forests[j];
+    const auto& members = setup.rings.rings[j].members;
     gst_schedule sched(t, setup.derived[j], n_hat,
                        /*slow_by_virtual_distance=*/true);
+    // Bucketed planning: per round only the members whose schedule (and
+    // coin) that round consults are visited, in member order — observably
+    // identical to the naive scan over every ring member.
+    const gst_schedule_index idx(sched, members);
     const round_t budget =
         opt.max_rounds_per_ring > 0
             ? opt.max_rounds_per_ring
@@ -132,13 +142,22 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
                   (6.0 * t.max_level() + 48.0 * L * L + 64));
     for (round_t r = 0; r < budget; ++r) {
       txs.clear();
-      for (node_id v : setup.rings.rings[j].members) {
-        const auto a = sched.query(v, r, node_rng[v]);
-        if (a != gst_schedule::action::none && informed[v])
-          txs.push_back({v, radio::packet::make_data(source, body)});
+      if (r % 2 == 0) {
+        for (node_id v : idx.fast_bucket(r)) {
+          if (informed[v] &&
+              sched.query(v, r, node_rng[v]) != gst_schedule::action::none)
+            txs.push_back({v, radio::packet::make_data(source, body)});
+        }
+      } else {
+        for (node_id v : idx.slow_bucket(r)) {
+          // Coin flipped for uninformed members too, as in the naive scan.
+          const auto a = sched.query(v, r, node_rng[v]);
+          if (a != gst_schedule::action::none && informed[v])
+            txs.push_back({v, radio::packet::make_data(source, body)});
+        }
       }
-      net.step(txs, deliver);
-      tracker.observe_round(net.stats().rounds);
+      if (sink.commit(txs, deliver))
+        tracker.observe_round(net.stats().rounds);
     }
     relay_rounds += budget;
 
@@ -146,21 +165,35 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
     // ring's roots (its inner boundary).
     if (j + 1 < setup.rings.rings.size()) {
       const level_t outer = setup.rings.rings[j].depth;
-      for (int ph = 0; ph < dp; ++ph) {
-        for (int e = 0; e <= L; ++e) {
-          txs.clear();
-          for (node_id v : setup.rings.rings[j].members) {
-            if (setup.rings.rel_level[v] == outer && informed[v] &&
-                node_rng[v].with_probability_pow2(e))
-              txs.push_back({v, radio::packet::make_data(source, body)});
+      bool any_informed_outer = false;
+      for (node_id v : members)
+        if (setup.rings.rel_level[v] == outer && informed[v]) {
+          any_informed_outer = true;
+          break;
+        }
+      if (opt.fast_forward && !any_informed_outer) {
+        // Nobody can transmit (and nobody flips a coin: the informed check
+        // short-circuits the draw), and the informed set cannot grow without
+        // transmissions — the whole handoff block is idle.
+        sink.advance(static_cast<round_t>(dp) * (L + 1));
+      } else {
+        for (int ph = 0; ph < dp; ++ph) {
+          for (int e = 0; e <= L; ++e) {
+            txs.clear();
+            for (node_id v : members) {
+              if (setup.rings.rel_level[v] == outer && informed[v] &&
+                  node_rng[v].with_probability_pow2(e))
+                txs.push_back({v, radio::packet::make_data(source, body)});
+            }
+            if (sink.commit(txs, deliver))
+              tracker.observe_round(net.stats().rounds);
           }
-          net.step(txs, deliver);
-          tracker.observe_round(net.stats().rounds);
         }
       }
       relay_rounds += static_cast<round_t>(dp) * (L + 1);
     }
   }
+  sink.flush();
   res.phase_rounds.emplace_back("ring_relay", relay_rounds);
 
   res.completed = tracker.all_done();
@@ -172,6 +205,7 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
   res.transmissions = net.stats().transmissions;
   res.deliveries = net.stats().deliveries;
   res.collisions_observed = net.stats().collisions_observed;
+  res.energy = net.energy();
   return res;
 }
 

@@ -29,6 +29,10 @@ struct single_broadcast_options {
   std::uint64_t seed = 1;
   params prm = params::paper();
   round_t max_rounds_per_ring = 0;  ///< 0 = budget from schedule_slack
+  /// Skip transmitter-free rounds in every phase (construction, labeling,
+  /// relay) via network::advance. Bit-identical results; see README
+  /// "Fast-forward execution".
+  bool fast_forward = false;
 };
 
 /// Known-topology single-message broadcast (GST built centrally, no rounds

@@ -33,11 +33,14 @@ struct vdist_labeling_result {
 
 /// Labels one GST forest. `parent_rank`/`stretch_child` carry the local
 /// knowledge produced by the distributed construction (see
-/// `distributed_gst_outcome`).
+/// `distributed_gst_outcome`). With `fast_forward`, rounds in which no node
+/// can transmit (and no coin is flipped) are skipped via network::advance —
+/// in particular everything after the largest reached distance value —
+/// with bit-identical labels and round counts.
 [[nodiscard]] vdist_labeling_result run_vdist_labeling(
     const graph::graph& g, const gst& t,
     const std::vector<rank_t>& parent_rank,
     const std::vector<node_id>& stretch_child, std::size_t n_hat,
-    const params& prm, std::uint64_t seed);
+    const params& prm, std::uint64_t seed, bool fast_forward = false);
 
 }  // namespace rn::core

@@ -1,23 +1,62 @@
 #include "radio/network.h"
 
+#include <atomic>
+#include <limits>
+
 #include "common/check.h"
 
 namespace rn::radio {
+
+namespace {
+std::atomic<std::int64_t> g_stepped{0};
+std::atomic<std::int64_t> g_skipped{0};
+}  // namespace
 
 network::network(const graph::graph& g, model m)
     : g_(&g), model_(m), erasure_rng_(m.erasure_seed) {
   RN_REQUIRE(m.erasure_prob >= 0.0 && m.erasure_prob < 1.0,
              "erasure probability must be in [0, 1)");
-  hit_count_.assign(g.node_count(), 0);
-  last_sender_.assign(g.node_count(), 0);
-  is_transmitting_.assign(g.node_count(), 0);
-  tx_count_.assign(g.node_count(), 0);
+  node_count_ = g.node_count();
+  // Private CSR copy: 32-bit row offsets and a contiguous neighbor array keep
+  // the per-round walk cache-linear and independent of the graph's internals.
+  row_start_.assign(node_count_ + 1, 0);
+  std::size_t total = 0;
+  for (node_id v = 0; v < node_count_; ++v) {
+    total += g.degree(v);
+    RN_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max(),
+               "adjacency too large for 32-bit CSR offsets");
+    row_start_[v + 1] = static_cast<std::uint32_t>(total);
+  }
+  adj_.reserve(total);
+  for (node_id v = 0; v < node_count_; ++v)
+    for (node_id u : g.neighbors(v)) adj_.push_back(u);
+
+  hit_count_.assign(node_count_, 0);
+  last_sender_.assign(node_count_, 0);
+  is_transmitting_.assign(node_count_, 0);
+  tx_count_.assign(node_count_, 0);
+}
+
+network::~network() {
+  g_stepped.fetch_add(stats_.rounds - skipped_, std::memory_order_relaxed);
+  g_skipped.fetch_add(skipped_, std::memory_order_relaxed);
+}
+
+engine_totals network::process_totals() {
+  return {g_stepped.load(std::memory_order_relaxed),
+          g_skipped.load(std::memory_order_relaxed)};
 }
 
 std::int64_t network::max_energy() const {
   std::int64_t best = 0;
   for (std::int64_t e : tx_count_) best = std::max(best, e);
   return best;
+}
+
+void network::advance(round_t idle_rounds) {
+  RN_REQUIRE(idle_rounds >= 0, "cannot advance by a negative round count");
+  stats_.rounds += idle_rounds;
+  skipped_ += idle_rounds;
 }
 
 void network::step(const std::vector<tx>& transmissions,
@@ -27,16 +66,21 @@ void network::step(const std::vector<tx>& transmissions,
 
   // Mark transmitters; a node transmitting twice in one round is a runner bug.
   for (const auto& t : transmissions) {
-    RN_REQUIRE(t.from < g_->node_count(), "transmitter out of range");
+    RN_REQUIRE(t.from < node_count_, "transmitter out of range");
     RN_REQUIRE(!is_transmitting_[t.from], "node transmitted twice in a round");
     is_transmitting_[t.from] = 1;
     tx_count_[t.from] += 1;
   }
 
-  // Tally transmitting neighbors of every potential listener.
+  // Tally transmitting neighbors of every potential listener: one contiguous
+  // CSR row walk per transmitter.
+  const node_id* adj = adj_.data();
   for (std::uint32_t i = 0; i < transmissions.size(); ++i) {
     const node_id u = transmissions[i].from;
-    for (node_id v : g_->neighbors(u)) {
+    const std::uint32_t begin = row_start_[u];
+    const std::uint32_t end = row_start_[u + 1];
+    for (std::uint32_t a = begin; a < end; ++a) {
+      const node_id v = adj[a];
       if (hit_count_[v] == 0) touched_.push_back(v);
       hit_count_[v] += 1;
       last_sender_[v] = i;

@@ -8,6 +8,13 @@
 //     has collision detection; without CD it observes `silence`;
 //   - observes `silence`  iff no neighbor transmits.
 // Transmitters observe nothing (half-duplex radios).
+//
+// Execution modes: `step` resolves one round on the channel; `advance` skips
+// a run of *idle* rounds — rounds in which no node transmits — in O(1). An
+// idle round has no receptions, no erasure-RNG draws and no energy cost, so
+// advancing is observably identical to stepping with an empty transmitter
+// list, only cheaper. Protocol runners that know their next busy round use
+// `advance` to fast-forward; see README "Fast-forward execution".
 #pragma once
 
 #include <cstdint>
@@ -44,7 +51,9 @@ struct model {
   std::uint64_t erasure_seed = 0x5eedULL;
 };
 
-/// Cumulative counters, cheap enough to always maintain.
+/// Cumulative protocol-level counters, cheap enough to always maintain.
+/// `rounds` counts every protocol round, stepped or skipped: fast-forwarding
+/// never changes these numbers (see the fast-forward equivalence tests).
 struct network_stats {
   std::int64_t rounds = 0;
   std::int64_t transmissions = 0;
@@ -53,18 +62,45 @@ struct network_stats {
   std::int64_t erasures = 0;            ///< receptions lost to channel erasure
 };
 
+/// Process-wide engine workload counters (how much channel resolution was
+/// actually simulated vs skipped). Purely diagnostic: reported by the bench
+/// timing sidecar, never part of protocol results.
+struct engine_totals {
+  std::int64_t stepped_rounds = 0;  ///< rounds resolved by `step`
+  std::int64_t skipped_rounds = 0;  ///< rounds fast-forwarded by `advance`
+};
+
 /// The round engine. Protocol runners provide, per round, the list of
 /// transmitting nodes with their packets; the engine resolves the channel and
 /// reports receptions via callback.
+///
+/// The adjacency is copied into a private CSR (compressed sparse row) layout
+/// with 32-bit offsets at construction: the per-round hot loop walks one
+/// contiguous row per transmitter and keeps per-listener state in flat
+/// arrays, with a per-round transmitter bitmap to separate talkers from
+/// listeners (bench_micro BM_NetworkStep tracks this path).
 class network {
  public:
   network(const graph::graph& g, model m);
+  ~network();
+
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
 
   [[nodiscard]] const graph::graph& topology() const { return *g_; }
   [[nodiscard]] const model& config() const { return model_; }
-  [[nodiscard]] std::size_t node_count() const { return g_->node_count(); }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
   [[nodiscard]] const network_stats& stats() const { return stats_; }
   [[nodiscard]] round_t now() const { return stats_.rounds; }
+
+  /// Rounds of this network's history that were fast-forwarded (subset of
+  /// stats().rounds). Diagnostic only — identical protocol outcomes are
+  /// produced whether rounds are stepped or skipped.
+  [[nodiscard]] std::int64_t skipped_rounds() const { return skipped_; }
+
+  /// Aggregated stepped/skipped counts over every network destroyed so far in
+  /// this process (thread-safe; used for engine accounting in bench timing).
+  [[nodiscard]] static engine_totals process_totals();
 
   /// Per-node transmission counts — the energy metric of radio networks.
   [[nodiscard]] const std::vector<std::int64_t>& energy() const {
@@ -89,15 +125,26 @@ class network {
   /// own state).
   void step(const std::vector<tx>& transmissions, const rx_callback& on_rx);
 
+  /// Fast-forwards `idle_rounds` rounds in which no node transmits, in O(1).
+  /// Observably identical to calling `step({}, on_rx)` that many times: an
+  /// empty round has no transmissions, no receptions and no erasure-RNG
+  /// draws, so only the round counter moves.
+  void advance(round_t idle_rounds);
+
  private:
   const graph::graph* g_;
   model model_;
   network_stats stats_;
+  std::int64_t skipped_ = 0;
   rng erasure_rng_;
+  std::size_t node_count_ = 0;
+  // CSR adjacency (32-bit offsets; row i spans adj_[row_start_[i] .. row_start_[i+1])).
+  std::vector<std::uint32_t> row_start_;
+  std::vector<node_id> adj_;
   std::vector<std::int64_t> tx_count_;
   std::vector<std::uint32_t> hit_count_;   // transmitting-neighbor count
   std::vector<std::uint32_t> last_sender_; // index into transmissions
-  std::vector<char> is_transmitting_;
+  std::vector<char> is_transmitting_;      // per-round transmitter bitmap
   std::vector<node_id> touched_;
 };
 

@@ -23,6 +23,10 @@ struct broadcast_result {
   std::int64_t collisions_observed = 0;
   /// Optional per-phase breakdown (e.g. Thm 1.1: wave / construction / relay).
   std::vector<std::pair<const char*, round_t>> phase_rounds;
+  /// Per-node transmission counts of the dissemination network (empty if the
+  /// runner does not report them). The fast-forward equivalence tests compare
+  /// these vectors element-wise between execution modes.
+  std::vector<std::int64_t> energy;
 };
 
 /// Tracks when every tracked node has reached its goal (e.g. "has the

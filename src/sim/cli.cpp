@@ -1,11 +1,13 @@
 #include "sim/cli.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <string_view>
 
+#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::sim {
@@ -23,6 +25,12 @@ void print_usage(std::ostream& os, const char* prog) {
      << "                    results are identical at every thread count\n"
      << "  --seed,       -s  run seed (default 1)\n"
      << "  --json            also write machine-readable results to PATH\n"
+     << "  --timing          write a wall-clock/engine sidecar JSON to PATH\n"
+     << "                    (results are mode- and thread-independent; only\n"
+     << "                    this sidecar carries timing)\n"
+     << "  --no-fast-forward cross-check mode: step every protocol round\n"
+     << "                    instead of skipping idle ones (same results,\n"
+     << "                    more wall-clock)\n"
      << "  --list            list registered experiments and exit\n";
 }
 
@@ -63,6 +71,12 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
       const char* v = value(arg);
       if (v == nullptr) return false;
       out.json_path = v;
+    } else if (arg == "--timing") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.timing_path = v;
+    } else if (arg == "--no-fast-forward") {
+      out.no_fast_forward = true;
     } else if (arg == "--trials" || arg == "-t" || arg == "--threads" ||
                arg == "-j" || arg == "--seed" || arg == "-s") {
       const char* v = value(arg);
@@ -129,17 +143,36 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
     ids.push_back(opt.experiment);
   }
 
+  set_fast_forward(!opt.no_fast_forward);
+
   json_value all = json_value::array();
+  json_value timing_rows = json_value::array();
+  double total_wall_ms = 0.0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const experiment* e = reg.find(ids[i]);
     run_config cfg;
     cfg.trials = opt.trials != 0 ? opt.trials : e->default_trials;
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
+    const engine_snapshot before = engine_counters();
+    const auto t0 = std::chrono::steady_clock::now();
     const experiment_result result = run_experiment(*e, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const engine_snapshot after = engine_counters();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    total_wall_ms += wall_ms;
     if (i > 0) std::cout << "\n";
     print_report(std::cout, *e, result);
     if (!opt.json_path.empty()) all.push_back(to_json(*e, result));
+    if (!opt.timing_path.empty()) {
+      json_value row = json_value::object();
+      row["id"] = e->id;
+      row["wall_ms"] = wall_ms;
+      row["stepped_rounds"] = after.stepped_rounds - before.stepped_rounds;
+      row["skipped_rounds"] = after.skipped_rounds - before.skipped_rounds;
+      timing_rows.push_back(std::move(row));
+    }
   }
 
   if (!opt.json_path.empty()) {
@@ -149,6 +182,21 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
       return 1;
     }
     all.dump(out, 2);  // always an array, even for one experiment
+    out << "\n";
+  }
+  if (!opt.timing_path.empty()) {
+    json_value timing = json_value::object();
+    timing["schema"] = "rn-bench-timing-v1";
+    timing["fast_forward"] = !opt.no_fast_forward;
+    timing["seed"] = opt.seed;
+    timing["experiments"] = std::move(timing_rows);
+    timing["total_wall_ms"] = total_wall_ms;
+    std::ofstream out(opt.timing_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.timing_path << "\n";
+      return 1;
+    }
+    timing.dump(out, 2);
     out << "\n";
   }
   return 0;

@@ -1,0 +1,21 @@
+#include "sim/engine.h"
+
+#include <atomic>
+
+namespace rn::sim {
+
+namespace {
+std::atomic<bool> g_fast_forward{true};
+}  // namespace
+
+bool use_fast_forward() { return g_fast_forward.load(std::memory_order_relaxed); }
+
+void set_fast_forward(bool on) {
+  g_fast_forward.store(on, std::memory_order_relaxed);
+}
+
+engine_snapshot engine_counters() {
+  return radio::network::process_totals();
+}
+
+}  // namespace rn::sim

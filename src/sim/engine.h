@@ -1,0 +1,29 @@
+// Process-wide execution-engine knobs and accounting for the bench harness.
+//
+// Experiments opt their protocol runners into fast-forward execution via
+// `use_fast_forward()`; the bench CLI's `--no-fast-forward` flips the global
+// default so a run can be cross-checked against naive stepping (results are
+// bit-identical by contract — only the timing sidecar may differ).
+//
+// `engine_counters()` reads the radio engine's process-wide stepped/skipped
+// round totals; the CLI reports per-experiment deltas in the timing sidecar
+// (never in the results JSON, which must be independent of execution mode).
+#pragma once
+
+#include "radio/network.h"
+
+namespace rn::sim {
+
+/// Whether experiments should request fast-forward execution (default true).
+[[nodiscard]] bool use_fast_forward();
+
+/// Overrides the process-wide fast-forward default (bench CLI).
+void set_fast_forward(bool on);
+
+using engine_snapshot = radio::engine_totals;
+
+/// Cumulative engine counters for this process (monotone; diff two snapshots
+/// to attribute work to a run).
+[[nodiscard]] engine_snapshot engine_counters();
+
+}  // namespace rn::sim

@@ -1,0 +1,235 @@
+// Fast-forward equivalence: every protocol runner must produce bit-identical
+// results whether idle rounds are stepped on the channel or skipped via
+// network::advance. The naive mode is the oracle; these tests run each
+// pipeline both ways and compare network statistics, per-node energy vectors,
+// protocol outputs and round counts.
+#include <gtest/gtest.h>
+
+#include "coding/rlnc.h"
+#include "core/assignment.h"
+#include "core/gst_distributed.h"
+#include "core/multi_broadcast.h"
+#include "core/recruiting.h"
+#include "core/single_broadcast.h"
+#include "graph/generators.h"
+#include "radio/network.h"
+
+namespace rn {
+namespace {
+
+graph::graph layered(std::size_t depth, std::size_t width, std::uint64_t seed) {
+  graph::layered_options lo;
+  lo.depth = depth;
+  lo.width = width;
+  lo.edge_prob = 0.4;
+  lo.seed = seed;
+  return graph::random_layered(lo);
+}
+
+void expect_same_result(const radio::broadcast_result& naive,
+                        const radio::broadcast_result& ff) {
+  EXPECT_EQ(naive.completed, ff.completed);
+  EXPECT_EQ(naive.rounds_to_complete, ff.rounds_to_complete);
+  EXPECT_EQ(naive.rounds_executed, ff.rounds_executed);
+  EXPECT_EQ(naive.transmissions, ff.transmissions);
+  EXPECT_EQ(naive.deliveries, ff.deliveries);
+  EXPECT_EQ(naive.collisions_observed, ff.collisions_observed);
+  EXPECT_EQ(naive.energy, ff.energy);  // per-node transmission counts
+  ASSERT_EQ(naive.phase_rounds.size(), ff.phase_rounds.size());
+  for (std::size_t i = 0; i < naive.phase_rounds.size(); ++i) {
+    EXPECT_STREQ(naive.phase_rounds[i].first, ff.phase_rounds[i].first);
+    EXPECT_EQ(naive.phase_rounds[i].second, ff.phase_rounds[i].second);
+  }
+}
+
+TEST(FastForward, Theorem11PipelineBitIdentical) {
+  // E1-style single-message broadcast at small n: the full unknown-topology
+  // pipeline (wave, construction, labeling, ring relay + handoffs).
+  const auto g = layered(8, 5, 11);
+  core::single_broadcast_options opt;
+  opt.seed = 21;
+  opt.prm = core::params::fast();
+  opt.fast_forward = false;
+  const auto naive = core::run_unknown_cd_single_broadcast(g, 0, opt);
+  opt.fast_forward = true;
+  const auto ff = core::run_unknown_cd_single_broadcast(g, 0, opt);
+  expect_same_result(naive, ff);
+  EXPECT_FALSE(naive.energy.empty());
+}
+
+TEST(FastForward, Theorem11MultiRingBitIdentical) {
+  const auto g = layered(12, 4, 5);
+  core::single_broadcast_options opt;
+  opt.seed = 3;
+  opt.prm = core::params::fast();
+  opt.prm.ring_divisor = 3.0;  // several rings => handoff blocks exercised
+  opt.fast_forward = false;
+  const auto naive = core::run_unknown_cd_single_broadcast(g, 0, opt);
+  opt.fast_forward = true;
+  const auto ff = core::run_unknown_cd_single_broadcast(g, 0, opt);
+  expect_same_result(naive, ff);
+}
+
+TEST(FastForward, KnownGstBroadcastBitIdentical) {
+  const auto g = layered(10, 5, 7);
+  core::single_broadcast_options opt;
+  opt.seed = 9;
+  opt.prm = core::params::fast();
+  opt.fast_forward = false;
+  const auto naive = core::run_known_single_broadcast(g, 0, opt);
+  opt.fast_forward = true;
+  const auto ff = core::run_known_single_broadcast(g, 0, opt);
+  expect_same_result(naive, ff);
+}
+
+TEST(FastForward, DistributedGstConstructionBitIdentical) {
+  for (const bool pipelined : {true, false}) {
+    const auto g = layered(6, 4, 13);
+    core::distributed_gst_options opt;
+    opt.seed = 17;
+    opt.prm = core::params::fast();
+    opt.pipelined = pipelined;
+    opt.fast_forward = false;
+    const auto naive = core::build_gst_distributed_single(g, 0, opt);
+    opt.fast_forward = true;
+    const auto ff = core::build_gst_distributed_single(g, 0, opt);
+    EXPECT_EQ(naive.rounds, ff.rounds);
+    EXPECT_EQ(naive.transmissions, ff.transmissions);
+    EXPECT_EQ(naive.fallback_finalizations, ff.fallback_finalizations);
+    EXPECT_EQ(naive.fallback_adoptions, ff.fallback_adoptions);
+    EXPECT_EQ(naive.parent_rank, ff.parent_rank);
+    EXPECT_EQ(naive.stretch_child, ff.stretch_child);
+    ASSERT_EQ(naive.forests.size(), ff.forests.size());
+    for (std::size_t j = 0; j < naive.forests.size(); ++j) {
+      EXPECT_EQ(naive.forests[j].parent, ff.forests[j].parent);
+      EXPECT_EQ(naive.forests[j].rank, ff.forests[j].rank);
+      EXPECT_EQ(naive.forests[j].level, ff.forests[j].level);
+      EXPECT_EQ(naive.forests[j].member, ff.forests[j].member);
+    }
+  }
+}
+
+TEST(FastForward, MultiMessageBroadcastBitIdentical) {
+  const auto g = layered(5, 4, 23);
+  const auto msgs = coding::make_test_messages(4, 8, 31);
+  core::multi_broadcast_options opt;
+  opt.seed = 41;
+  opt.prm = core::params::fast();
+  opt.payload_size = 8;
+  opt.fast_forward = false;
+  const auto naive = core::run_unknown_cd_multi_broadcast(g, 0, msgs, opt);
+  opt.fast_forward = true;
+  const auto ff = core::run_unknown_cd_multi_broadcast(g, 0, msgs, opt);
+  expect_same_result(naive.base, ff.base);
+  EXPECT_EQ(naive.payloads_verified, ff.payloads_verified);
+}
+
+TEST(FastForward, AssignmentProblemBitIdentical) {
+  // Bipartite layered instance, as in experiment E7.
+  const std::size_t half = 12;
+  graph::graph::builder gb(2 * half);
+  rng r(77);
+  for (node_id red = 0; red < half; ++red)
+    for (node_id blue = 0; blue < half; ++blue)
+      if (r.bernoulli(0.3))
+        gb.add_edge(red, static_cast<node_id>(half + blue));
+  const auto g = std::move(gb).build();
+  std::vector<node_id> reds, blues;
+  for (node_id red = 0; red < half; ++red) reds.push_back(red);
+  for (node_id blue = 0; blue < half; ++blue)
+    if (g.degree(static_cast<node_id>(half + blue)) > 0)
+      blues.push_back(static_cast<node_id>(half + blue));
+  const int L = 4;
+  const auto naive = core::run_assignment(g, reds, blues, 1, L, 2 * L, 3 * L,
+                                          4 * L * L, L, 5, false);
+  const auto ff = core::run_assignment(g, reds, blues, 1, L, 2 * L, 3 * L,
+                                       4 * L * L, L, 5, true);
+  EXPECT_EQ(naive.rounds, ff.rounds);
+  EXPECT_EQ(naive.all_assigned, ff.all_assigned);
+  EXPECT_EQ(naive.fallback_finalizations, ff.fallback_finalizations);
+  EXPECT_EQ(naive.fallback_adoptions, ff.fallback_adoptions);
+  EXPECT_EQ(naive.epoch_active_reds, ff.epoch_active_reds);
+  EXPECT_EQ(naive.st.parent, ff.st.parent);
+  EXPECT_EQ(naive.st.rank, ff.st.rank);
+  EXPECT_EQ(naive.st.stretch_child, ff.st.stretch_child);
+}
+
+TEST(FastForward, RecruitingBitIdentical) {
+  const std::size_t half = 10;
+  graph::graph::builder gb(2 * half);
+  rng r(3);
+  for (node_id red = 0; red < half; ++red)
+    for (node_id blue = 0; blue < half; ++blue)
+      if (r.bernoulli(0.25))
+        gb.add_edge(red, static_cast<node_id>(half + blue));
+  const auto g = std::move(gb).build();
+  std::vector<node_id> reds, blues;
+  for (node_id red = 0; red < half; ++red) reds.push_back(red);
+  for (node_id blue = 0; blue < half; ++blue)
+    blues.push_back(static_cast<node_id>(half + blue));
+  const auto naive = core::run_recruiting(g, reds, blues, 4, 24, 4, 9, false);
+  const auto ff = core::run_recruiting(g, reds, blues, 4, 24, 4, 9, true);
+  EXPECT_EQ(naive.rounds, ff.rounds);
+  EXPECT_EQ(naive.recruited, ff.recruited);
+  EXPECT_EQ(naive.properties_ok, ff.properties_ok);
+}
+
+TEST(FastForward, RecruitingWithoutRedsIsFullyQuiet) {
+  const auto g = layered(2, 3, 1);
+  core::recruiting_instance::config cfg;
+  cfg.g = &g;
+  cfg.blues = {1, 2, 3};
+  cfg.L = 3;
+  cfg.iterations = 5;
+  cfg.exp_step = 2;
+  cfg.seed = 4;
+  core::recruiting_instance inst(std::move(cfg));
+  EXPECT_EQ(inst.quiet_rounds(), inst.rounds_required());
+  inst.skip_rounds(inst.quiet_rounds());
+  EXPECT_TRUE(inst.finished());
+}
+
+// advance() must leave the erasure RNG untouched: after skipping k idle
+// rounds, the channel behaves exactly as if those rounds had been stepped
+// with an empty transmitter list.
+TEST(FastForward, AdvanceKeepsErasureRngAligned) {
+  const auto g = layered(1, 6, 2);  // source + one dense layer
+  const radio::model m{.collision_detection = true,
+                       .erasure_prob = 0.5,
+                       .erasure_seed = 1234};
+  const std::vector<radio::network::tx> quiet;
+  std::vector<radio::network::tx> busy{{0, radio::packet::make_beacon(0)}};
+
+  for (const round_t idle : {0, 1, 7, 1000, 1 << 20}) {
+    radio::network stepped(g, m);
+    radio::network jumped(g, m);
+    for (round_t i = 0; i < idle; ++i) stepped.step(quiet, nullptr);
+    jumped.advance(idle);
+    EXPECT_EQ(stepped.now(), jumped.now());
+    // Several busy rounds afterwards must erase identically.
+    for (int i = 0; i < 32; ++i) {
+      stepped.step(busy, nullptr);
+      jumped.step(busy, nullptr);
+    }
+    EXPECT_EQ(stepped.stats().erasures, jumped.stats().erasures);
+    EXPECT_EQ(stepped.stats().deliveries, jumped.stats().deliveries);
+    EXPECT_EQ(stepped.stats().rounds, jumped.stats().rounds);
+    EXPECT_EQ(stepped.energy(), jumped.energy());
+    EXPECT_EQ(jumped.skipped_rounds(), idle);
+    EXPECT_EQ(stepped.skipped_rounds(), 0);
+  }
+}
+
+TEST(FastForward, AdvanceCountsRoundsAndNothingElse) {
+  const auto g = layered(2, 2, 8);
+  radio::network net(g, {.collision_detection = true});
+  net.advance(123456789);
+  EXPECT_EQ(net.now(), 123456789);
+  EXPECT_EQ(net.stats().transmissions, 0);
+  EXPECT_EQ(net.stats().deliveries, 0);
+  EXPECT_EQ(net.stats().collisions_observed, 0);
+  EXPECT_EQ(net.max_energy(), 0);
+}
+
+}  // namespace
+}  // namespace rn

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two bench timing files and fail on wall-clock regressions.
+
+Inputs are rn-bench-timing-v1 sidecars written by `bench_suite --timing`
+and/or google-benchmark JSON written by `bench_micro --benchmark_out=...`.
+The file kind is auto-detected. Tracked metrics:
+
+  * bench_suite:  per-experiment `wall_ms`
+  * bench_micro:  per-benchmark `real_time` (aggregate rows are skipped)
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 1.25] [--min-ms 5]
+
+Exit codes: 0 ok (or no comparable baseline), 1 regression, 2 bad input.
+Metrics only present on one side are reported but never fail the gate (new
+benchmarks appear, old ones are retired). Timings below --min-ms are ignored:
+at micro scale CI-runner noise swamps any real signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    """Returns {metric_name: milliseconds} for a timing/benchmark file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+
+    metrics = {}
+    if isinstance(data, dict) and data.get("schema") == "rn-bench-timing-v1":
+        for row in data.get("experiments", []):
+            metrics[f"suite/{row['id']}"] = float(row["wall_ms"])
+    elif isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
+        unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+        for row in data["benchmarks"]:
+            if row.get("run_type") == "aggregate":
+                continue
+            scale = unit_ms.get(row.get("time_unit", "ns"))
+            if scale is None:
+                continue
+            metrics[f"micro/{row['name']}"] = float(row["real_time"]) * scale
+    else:
+        raise SystemExit(f"bench_compare: {path}: unrecognized format")
+    return metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current > threshold * baseline (default 1.25)")
+    ap.add_argument("--min-ms", type=float, default=5.0,
+                    help="ignore suite metrics faster than this in the baseline")
+    ap.add_argument("--min-micro-ms", type=float, default=0.01,
+                    help="ignore micro (per-iteration) metrics faster than this")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            rows.append((name, b, c, "(one-sided, ignored)"))
+            continue
+        floor = args.min_micro_ms if name.startswith("micro/") else args.min_ms
+        if max(b, c) < floor:  # ignore only when both sides are in the noise
+            rows.append((name, b, c, "(below noise floor, ignored)"))
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = f"REGRESSION x{ratio:.2f}"
+            regressions.append(name)
+        elif ratio < 1 / args.threshold:
+            verdict = f"improved x{1 / ratio:.2f}"
+        rows.append((name, b, c, verdict))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    fmt_ms = lambda v: f"{v:10.2f}" if v is not None else "         -"
+    print(f"{'metric':<{width}}  {'base ms':>10}  {'cur ms':>10}  verdict")
+    for name, b, c, verdict in rows:
+        print(f"{name:<{width}}  {fmt_ms(b)}  {fmt_ms(c)}  {verdict}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+              f"x{args.threshold}: {', '.join(regressions)}")
+        return 1
+    print(f"\nOK: no tracked metric regressed beyond x{args.threshold}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
