@@ -1,9 +1,12 @@
-// Consolidated experiment harness: runs any registered experiment (E1..E9)
-// by name on the trial-parallel Monte Carlo engine.
+// Consolidated experiment harness: runs any registered experiment (E1..E10)
+// or an ad-hoc declarative workload on the scenario-parallel Monte Carlo
+// engine.
 //
 //   bench_suite --list
 //   bench_suite --experiment e1 --trials 64 --threads 8 --json out.json
 //   bench_suite --experiment all --trials 2 --json bench.json
+//   bench_suite --topology power_law:n=4096 --protocol decay,gst-known
+//               --sweep edges_per_node=1,2,4 --trials 16
 //
 // Results are bit-identical for a given (seed, trials) at any --threads.
 #include "experiments/experiments.h"

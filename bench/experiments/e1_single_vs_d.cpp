@@ -4,31 +4,14 @@
 // *additive* dependence on D (slope ~constant rounds per hop) while
 // Decay-style algorithms pay a multiplicative ~log n per hop. The Theorem 1.1
 // pipeline's one-time setup (wave + construction + labeling) is reported in
-// separate scenario rows (it simulates orders of magnitude more rounds, so
-// its rows carry a trial cap).
+// separate scenario rows via the phase-split probe.
 #include <string>
 
-#include "core/api.h"
-#include "core/single_broadcast.h"
+#include "core/params.h"
 #include "experiments/experiments.h"
-#include "graph/generators.h"
-#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
-
-namespace {
-
-graph::graph make_layered(int d, std::size_t width, std::uint64_t seed) {
-  graph::layered_options lo;
-  lo.depth = static_cast<std::size_t>(d);
-  lo.width = width;
-  lo.edge_prob = 0.4;
-  lo.seed = seed;
-  return graph::random_layered(lo);
-}
-
-}  // namespace
 
 void register_e1(sim::registry& reg) {
   sim::experiment e;
@@ -47,56 +30,39 @@ void register_e1(sim::registry& reg) {
   e.make_scenarios = [] {
     const std::size_t total_width = 240;
     std::vector<sim::scenario> out;
-    for (const int d : {8, 12, 24, 40, 60}) {
+    auto base_scenario = [&](int d) {
       const std::size_t width = total_width / static_cast<std::size_t>(d);
       sim::scenario sc;
-      sc.label = "D=" + std::to_string(d);
       sc.params = {{"D", static_cast<double>(d)},
                    {"width", static_cast<double>(width)},
                    {"n", static_cast<double>(1 + d * static_cast<int>(width))}};
-      sc.run = [d, width](std::size_t, rng& r) {
-        const auto g = make_layered(d, width, r());
-        core::run_options opt;
-        opt.prm = core::params::fast();
-        opt.fast_forward = sim::use_fast_forward();
-        sim::metrics m;
-        for (const auto& [name, alg] :
-             {std::pair{"decay", core::single_algorithm::decay},
-              std::pair{"tuned", core::single_algorithm::tuned_decay},
-              std::pair{"gst_known", core::single_algorithm::gst_known}}) {
-          opt.seed = r();
-          m.set(name, static_cast<double>(
-                          core::run_single(g, 0, alg, opt).rounds_to_complete));
-        }
-        return m;
-      };
+      sc.topology.kind = "layered";
+      sc.topology.params = {{"depth", static_cast<double>(d)},
+                            {"width", static_cast<double>(width)},
+                            {"edge_prob", 0.4}};
+      sc.options.prm = core::params::fast();
+      return sc;
+    };
+    for (const int d : {8, 12, 24, 40, 60}) {
+      sim::scenario sc = base_scenario(d);
+      sc.label = "D=" + std::to_string(d);
+      sc.probes = {{"decay", "decay"},
+                   {"tuned-decay", "tuned"},
+                   {"gst-known", "gst_known"}};
       out.push_back(std::move(sc));
     }
-    // Theorem 1.1 pipeline rows: setup (one-time) vs dissemination.
+    // Theorem 1.1 pipeline rows: setup (one-time) vs dissemination, split on
+    // the ring_relay phase.
     for (const int d : {8, 12, 24, 40, 60}) {
-      const std::size_t width = total_width / static_cast<std::size_t>(d);
-      sim::scenario sc;
+      sim::scenario sc = base_scenario(d);
       sc.label = "D=" + std::to_string(d) + "/thm1.1";
-      sc.params = {{"D", static_cast<double>(d)},
-                   {"width", static_cast<double>(width)},
-                   {"n", static_cast<double>(1 + d * static_cast<int>(width))}};
-      sc.run = [d, width](std::size_t, rng& r) {
-        const auto g = make_layered(d, width, r());
-        core::single_broadcast_options opt;
-        opt.seed = r();
-        opt.prm = core::params::fast();
-        opt.fast_forward = sim::use_fast_forward();
-        const auto res = core::run_unknown_cd_single_broadcast(g, 0, opt);
-        round_t setup = 0;
-        for (const auto& [name, rounds] : res.phase_rounds)
-          if (std::string(name) != "ring_relay") setup += rounds;
-        sim::metrics m;
-        m.set("thm11_setup", static_cast<double>(setup));
-        m.set("thm11_bcast",
-              static_cast<double>(res.rounds_to_complete - setup));
-        m.set("completed", res.completed ? 1.0 : 0.0);
-        return m;
-      };
+      sim::protocol_probe p;
+      p.protocol = "gst-unknown-cd";
+      p.metric = "thm11_bcast";
+      p.setup_metric = "thm11_setup";
+      p.relay_phase = "ring_relay";
+      p.completed_metric = "completed";
+      sc.probes = {std::move(p)};
       out.push_back(std::move(sc));
     }
     return out;

@@ -4,10 +4,8 @@
 // GST-based broadcast stays near its D-dominated floor.
 #include <string>
 
-#include "core/api.h"
+#include "core/params.h"
 #include "experiments/experiments.h"
-#include "graph/generators.h"
-#include "sim/engine.h"
 #include "sim/experiment.h"
 
 namespace rn::bench {
@@ -28,27 +26,14 @@ void register_e2(sim::registry& reg) {
       sc.label = "n=" + std::to_string(1 + 12 * width);
       sc.params = {{"n", static_cast<double>(1 + 12 * width)},
                    {"width", static_cast<double>(width)}};
-      sc.run = [width](std::size_t, rng& r) {
-        graph::layered_options lo;
-        lo.depth = 12;
-        lo.width = width;
-        lo.edge_prob = 0.4;
-        lo.seed = r();
-        const auto g = graph::random_layered(lo);
-        core::run_options opt;
-        opt.fast_forward = sim::use_fast_forward();
-        opt.prm = core::params::fast();
-        sim::metrics m;
-        for (const auto& [name, alg] :
-             {std::pair{"decay", core::single_algorithm::decay},
-              std::pair{"tuned", core::single_algorithm::tuned_decay},
-              std::pair{"gst_known", core::single_algorithm::gst_known}}) {
-          opt.seed = r();
-          m.set(name, static_cast<double>(
-                          core::run_single(g, 0, alg, opt).rounds_to_complete));
-        }
-        return m;
-      };
+      sc.topology.kind = "layered";
+      sc.topology.params = {{"depth", 12.0},
+                            {"width", static_cast<double>(width)},
+                            {"edge_prob", 0.4}};
+      sc.options.prm = core::params::fast();
+      sc.probes = {{"decay", "decay"},
+                   {"tuned-decay", "tuned"},
+                   {"gst-known", "gst_known"}};
       out.push_back(std::move(sc));
     }
     return out;

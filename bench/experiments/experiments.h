@@ -1,4 +1,4 @@
-// Registration entry points for the E1..E9 experiments.
+// Registration entry points for the E1..E10 experiments.
 //
 // Each experiment lives in its own translation unit and registers a
 // `sim::experiment` into the process-wide registry. Registration is explicit
@@ -21,8 +21,9 @@ void register_e6(sim::registry& reg);
 void register_e7(sim::registry& reg);
 void register_e8(sim::registry& reg);
 void register_e9(sim::registry& reg);
+void register_e10(sim::registry& reg);
 
-/// Registers E1..E9 into sim::registry::instance(); idempotent.
+/// Registers E1..E10 into sim::registry::instance(); idempotent.
 void register_all();
 
 }  // namespace rn::bench

@@ -16,6 +16,7 @@ void register_all() {
     register_e7(reg);
     register_e8(reg);
     register_e9(reg);
+    register_e10(reg);
     return true;
   }();
   (void)done;

@@ -6,34 +6,31 @@
 #include <cstdio>
 
 #include "core/api.h"
-#include "graph/generators.h"
+#include "graph/topology.h"
 
 int main() {
   using namespace rn;
 
-  // A 12-hop-deep network of 61 radios; node 0 is the source.
-  graph::layered_options lo;
-  lo.depth = 12;
-  lo.width = 5;
-  lo.edge_prob = 0.4;
-  lo.seed = 7;
-  const auto g = graph::random_layered(lo);
-  std::printf("network: n=%zu, m=%zu edges, source eccentricity=%zu\n\n",
-              g.node_count(), g.edge_count(), lo.depth);
+  // A 12-hop-deep network of 61 radios; node 0 is the source. Topologies are
+  // declarative specs resolved through the registry (same syntax as
+  // `bench_suite --topology ...`).
+  auto spec = graph::parse_topology_spec("layered:depth=12,width=5,edge_prob=0.4");
+  spec.seed = 7;
+  const auto g = graph::build_topology(spec);
+  std::printf("network %s: n=%zu, m=%zu edges\n\n", spec.to_string().c_str(),
+              g.node_count(), g.edge_count());
 
   core::run_options opt;
   opt.seed = 42;
   opt.prm = core::params::fast();  // simulation-friendly Theta constants
 
-  for (const auto alg : {core::single_algorithm::decay,
-                         core::single_algorithm::gst_known,
-                         core::single_algorithm::gst_unknown_cd}) {
-    const auto res = core::run_single(g, 0, alg, opt);
+  for (const char* protocol : {"decay", "gst-known", "gst-unknown-cd"}) {
+    const auto res = core::run_broadcast(g, protocol, {/*source=*/0}, opt);
     std::printf("%-15s  completed=%s  rounds=%lld  transmissions=%lld\n",
-                core::to_string(alg).c_str(), res.completed ? "yes" : "NO",
-                static_cast<long long>(res.rounds_to_complete),
-                static_cast<long long>(res.transmissions));
-    for (const auto& [phase, rounds] : res.phase_rounds)
+                protocol, res.base.completed ? "yes" : "NO",
+                static_cast<long long>(res.base.rounds_to_complete),
+                static_cast<long long>(res.base.transmissions));
+    for (const auto& [phase, rounds] : res.base.phase_rounds)
       std::printf("    phase %-16s %10lld rounds\n", phase,
                   static_cast<long long>(rounds));
   }

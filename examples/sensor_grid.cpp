@@ -30,15 +30,13 @@ int main() {
 
   std::printf("%-18s %12s %14s %14s\n", "strategy", "rounds", "transmissions",
               "all decoded");
-  for (const auto alg : {core::multi_algorithm::sequential_decay,
-                         core::multi_algorithm::routing,
-                         core::multi_algorithm::rlnc_known,
-                         core::multi_algorithm::rlnc_unknown_cd}) {
-    const auto res = core::run_multi(g, 0, k, alg, opt);
-    std::printf("%-18s %12lld %14lld %14s\n", core::to_string(alg).c_str(),
-                static_cast<long long>(res.rounds_to_complete),
-                static_cast<long long>(res.transmissions),
-                res.completed ? "yes" : "NO");
+  for (const char* protocol :
+       {"seq-decay", "routing", "rlnc-known", "rlnc-unknown-cd"}) {
+    const auto res = core::run_broadcast(g, protocol, {/*source=*/0, k}, opt);
+    std::printf("%-18s %12lld %14lld %14s\n", protocol,
+                static_cast<long long>(res.base.rounds_to_complete),
+                static_cast<long long>(res.base.transmissions),
+                res.base.completed && res.payloads_verified ? "yes" : "NO");
   }
   std::printf(
       "\nrlnc-known codes all %zu chunks together over the GST schedule\n"

@@ -1,0 +1,57 @@
+// String-keyed, registration-ordered lookup table — the shared backbone of
+// the topology and protocol registries (and any future one: schedules,
+// noise models, ...). `Key` is a pointer to the entry's key member; `noun`
+// names the key in error messages ("topology kind", "protocol id").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rn {
+
+template <typename Entry, std::string Entry::*Key>
+class keyed_registry {
+ public:
+  explicit keyed_registry(const char* noun) : noun_(noun) {}
+
+  void add(Entry e) {
+    RN_REQUIRE(!(e.*Key).empty(),
+               std::string(noun_) + " must be non-empty");
+    RN_REQUIRE(find(e.*Key) == nullptr,
+               "duplicate " + std::string(noun_) + ": " + e.*Key);
+    entries_.push_back(std::move(e));
+  }
+
+  [[nodiscard]] const Entry* find(std::string_view key) const {
+    for (const auto& e : entries_)
+      if (e.*Key == key) return &e;
+    return nullptr;
+  }
+
+  /// Registration order.
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.*Key);
+    return out;
+  }
+
+  /// "a, b, c" — for unknown-key error messages.
+  [[nodiscard]] std::string keys_joined() const {
+    std::string out;
+    for (const auto& e : entries_) {
+      if (!out.empty()) out += ", ";
+      out += e.*Key;
+    }
+    return out;
+  }
+
+ private:
+  const char* noun_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rn

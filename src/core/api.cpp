@@ -1,8 +1,129 @@
 #include "core/api.h"
 
+#include "baseline/decay.h"
+#include "baseline/multi_baselines.h"
 #include "common/check.h"
+#include "core/multi_broadcast.h"
+#include "core/single_broadcast.h"
 
 namespace rn::core {
+
+namespace {
+
+single_broadcast_options to_single_options(const run_options& opt) {
+  single_broadcast_options o;
+  o.n_hat = opt.n_hat;
+  o.d_hat = opt.d_hat;
+  o.seed = opt.seed;
+  o.prm = opt.prm;
+  o.fast_forward = opt.fast_forward;
+  return o;
+}
+
+multi_broadcast_options to_multi_options(const run_options& opt) {
+  multi_broadcast_options o;
+  o.n_hat = opt.n_hat;
+  o.d_hat = opt.d_hat;
+  o.seed = opt.seed;
+  o.prm = opt.prm;
+  o.payload_size = opt.payload_size;
+  o.fast_forward = opt.fast_forward;
+  return o;
+}
+
+std::vector<coding::message> test_messages(const broadcast_workload& w,
+                                           const run_options& opt) {
+  const std::uint64_t seed =
+      opt.message_seed != 0 ? opt.message_seed : opt.seed ^ 0x5eedULL;
+  return coding::make_test_messages(w.messages, opt.payload_size, seed);
+}
+
+broadcast_outcome of_single(radio::broadcast_result res) {
+  return {std::move(res), true};
+}
+
+broadcast_outcome of_multi(multi_broadcast_result res) {
+  return {std::move(res.base), res.payloads_verified};
+}
+
+}  // namespace
+
+protocol_registry& protocol_registry::instance() {
+  static protocol_registry reg;
+  return reg;
+}
+
+protocol_registry::protocol_registry() {
+  using g_t = const graph::graph&;
+  using w_t = const broadcast_workload&;
+  using o_t = const run_options&;
+  add({"decay", "BGI Decay baseline (single message)", false,
+       [](g_t g, w_t w, o_t opt) {
+         baseline::decay_options o;
+         o.n_hat = opt.n_hat;
+         o.seed = opt.seed;
+         return of_single(baseline::run_decay_broadcast(g, w.source, o));
+       }});
+  add({"tuned-decay", "Czumaj-Rytter-style tuned Decay baseline", false,
+       [](g_t g, w_t w, o_t opt) {
+         baseline::tuned_decay_options o;
+         o.n_hat = opt.n_hat;
+         o.d_hat = opt.d_hat;
+         o.seed = opt.seed;
+         return of_single(baseline::run_tuned_decay_broadcast(g, w.source, o));
+       }});
+  add({"gst-known", "known topology, GST schedule (O(D + log^2 n))", false,
+       [](g_t g, w_t w, o_t opt) {
+         return of_single(
+             run_known_single_broadcast(g, w.source, to_single_options(opt)));
+       }});
+  add({"gst-unknown-cd", "Theorem 1.1 pipeline (O(D + log^6 n))", false,
+       [](g_t g, w_t w, o_t opt) {
+         return of_single(run_unknown_cd_single_broadcast(
+             g, w.source, to_single_options(opt)));
+       }});
+  add({"seq-decay", "one Decay broadcast per message (baseline)", true,
+       [](g_t g, w_t w, o_t opt) {
+         baseline::multi_options o;
+         o.k = w.messages;
+         o.n_hat = opt.n_hat;
+         o.seed = opt.seed;
+         return of_single(baseline::run_sequential_decay_multi(g, w.source, o));
+       }});
+  add({"routing", "store-and-forward random forwarding (baseline)", true,
+       [](g_t g, w_t w, o_t opt) {
+         baseline::multi_options o;
+         o.k = w.messages;
+         o.n_hat = opt.n_hat;
+         o.seed = opt.seed;
+         return of_single(baseline::run_routing_multi(g, w.source, o));
+       }});
+  add({"rlnc-known", "Theorem 1.2: RLNC over a central MMV-GST schedule", true,
+       [](g_t g, w_t w, o_t opt) {
+         return of_multi(run_known_multi_broadcast(
+             g, w.source, test_messages(w, opt), to_multi_options(opt)));
+       }});
+  add({"rlnc-unknown-cd", "Theorem 1.3: Thm 1.1 setup + batched RLNC relay",
+       true, [](g_t g, w_t w, o_t opt) {
+         return of_multi(run_unknown_cd_multi_broadcast(
+             g, w.source, test_messages(w, opt), to_multi_options(opt)));
+       }});
+}
+
+broadcast_outcome run_broadcast(const graph::graph& g,
+                                std::string_view protocol,
+                                const broadcast_workload& w,
+                                const run_options& opt) {
+  const auto* e = protocol_registry::instance().find(protocol);
+  RN_REQUIRE(e != nullptr,
+             "unknown protocol '" + std::string(protocol) + "' (known: " +
+                 protocol_registry::instance().ids_joined() + ")");
+  RN_REQUIRE(w.messages >= 1, "workload needs at least one message");
+  RN_REQUIRE(e->multi_message || w.messages == 1,
+             "protocol '" + e->id + "' is single-message (got messages = " +
+                 std::to_string(w.messages) + ")");
+  return e->run(g, w, opt);
+}
 
 std::string to_string(single_algorithm a) {
   switch (a) {
@@ -27,92 +148,17 @@ std::string to_string(multi_algorithm a) {
 radio::broadcast_result run_single(const graph::graph& g, node_id source,
                                    single_algorithm alg,
                                    const run_options& opt) {
-  switch (alg) {
-    case single_algorithm::decay: {
-      baseline::decay_options o;
-      o.n_hat = opt.n_hat;
-      o.seed = opt.seed;
-      return baseline::run_decay_broadcast(g, source, o);
-    }
-    case single_algorithm::tuned_decay: {
-      baseline::tuned_decay_options o;
-      o.n_hat = opt.n_hat;
-      o.d_hat = opt.d_hat;
-      o.seed = opt.seed;
-      return baseline::run_tuned_decay_broadcast(g, source, o);
-    }
-    case single_algorithm::gst_known: {
-      single_broadcast_options o;
-      o.n_hat = opt.n_hat;
-      o.d_hat = opt.d_hat;
-      o.seed = opt.seed;
-      o.prm = opt.prm;
-      o.fast_forward = opt.fast_forward;
-      return run_known_single_broadcast(g, source, o);
-    }
-    case single_algorithm::gst_unknown_cd: {
-      single_broadcast_options o;
-      o.n_hat = opt.n_hat;
-      o.d_hat = opt.d_hat;
-      o.seed = opt.seed;
-      o.prm = opt.prm;
-      o.fast_forward = opt.fast_forward;
-      return run_unknown_cd_single_broadcast(g, source, o);
-    }
-  }
-  RN_REQUIRE(false, "unknown algorithm");
-  return {};
+  return run_broadcast(g, to_string(alg), {source, 1}, opt).base;
 }
 
 radio::broadcast_result run_multi(const graph::graph& g, node_id source,
                                   std::size_t k, multi_algorithm alg,
                                   const run_options& opt) {
-  switch (alg) {
-    case multi_algorithm::sequential_decay: {
-      baseline::multi_options o;
-      o.k = k;
-      o.n_hat = opt.n_hat;
-      o.seed = opt.seed;
-      return baseline::run_sequential_decay_multi(g, source, o);
-    }
-    case multi_algorithm::routing: {
-      baseline::multi_options o;
-      o.k = k;
-      o.n_hat = opt.n_hat;
-      o.seed = opt.seed;
-      return baseline::run_routing_multi(g, source, o);
-    }
-    case multi_algorithm::rlnc_known: {
-      multi_broadcast_options o;
-      o.n_hat = opt.n_hat;
-      o.d_hat = opt.d_hat;
-      o.seed = opt.seed;
-      o.prm = opt.prm;
-      o.payload_size = opt.payload_size;
-      o.fast_forward = opt.fast_forward;
-      const auto msgs = coding::make_test_messages(k, opt.payload_size,
-                                                   opt.seed ^ 0x5eedULL);
-      auto res = run_known_multi_broadcast(g, source, msgs, o);
-      res.base.completed = res.base.completed && res.payloads_verified;
-      return res.base;
-    }
-    case multi_algorithm::rlnc_unknown_cd: {
-      multi_broadcast_options o;
-      o.n_hat = opt.n_hat;
-      o.d_hat = opt.d_hat;
-      o.seed = opt.seed;
-      o.prm = opt.prm;
-      o.payload_size = opt.payload_size;
-      o.fast_forward = opt.fast_forward;
-      const auto msgs = coding::make_test_messages(k, opt.payload_size,
-                                                   opt.seed ^ 0x5eedULL);
-      auto res = run_unknown_cd_multi_broadcast(g, source, msgs, o);
-      res.base.completed = res.base.completed && res.payloads_verified;
-      return res.base;
-    }
-  }
-  RN_REQUIRE(false, "unknown algorithm");
-  return {};
+  auto out = run_broadcast(g, to_string(alg), {source, k}, opt);
+  // Historical contract: the enum API folds the payload check into
+  // completion instead of reporting it separately.
+  out.base.completed = out.base.completed && out.payloads_verified;
+  return out.base;
 }
 
 }  // namespace rn::core

@@ -1,15 +1,96 @@
-// Public facade: one entry point per algorithm family, for examples and
-// benchmark harnesses.
+// Public facade: a string-keyed protocol registry and one entry point,
+// `run_broadcast(graph, protocol_id, workload, options)`, for examples,
+// declarative scenarios, and the benchmark harnesses.
+//
+// Protocols are data: every algorithm family member (baselines and the
+// paper's Theorem 1.1/1.2/1.3 pipelines) registers under a stable id, so
+// workloads can name algorithms in JSON/CLI instead of compiling against an
+// enum. The pre-registry enum API (`single_algorithm` / `multi_algorithm`,
+// `run_single` / `run_multi`) survives one more PR as deprecated shims.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "baseline/decay.h"
-#include "baseline/multi_baselines.h"
-#include "core/multi_broadcast.h"
-#include "core/single_broadcast.h"
+#include "common/registry.h"
+#include "core/params.h"
+#include "graph/graph.h"
+#include "radio/result.h"
 
 namespace rn::core {
+
+/// What to broadcast: the source node and how many messages start there.
+struct broadcast_workload {
+  node_id source = 0;
+  std::size_t messages = 1;
+};
+
+struct run_options {
+  std::size_t n_hat = 0;
+  level_t d_hat = 0;
+  std::uint64_t seed = 1;
+  params prm = params::paper();
+  std::size_t payload_size = 32;
+  /// Seed for the generated test payloads of the RLNC protocols
+  /// (0 = derive from `seed`, the historical behavior).
+  std::uint64_t message_seed = 0;
+  /// Fast-forward transmitter-free rounds in the GST-based algorithms
+  /// (bit-identical results; ignored by the Decay baselines, which schedule
+  /// a coin flip for every informed node every round).
+  bool fast_forward = false;
+};
+
+/// Result of `run_broadcast`: the usual round/traffic counters plus the
+/// payload check of the coding protocols (always true for uncoded ones).
+struct broadcast_outcome {
+  radio::broadcast_result base;
+  bool payloads_verified = true;
+};
+
+/// One registered broadcast protocol.
+struct protocol_entry {
+  std::string id;       ///< stable key, e.g. "decay", "rlnc-unknown-cd"
+  std::string summary;  ///< one-line description for --list output
+  bool multi_message = false;  ///< accepts workloads with messages > 1
+  std::function<broadcast_outcome(const graph::graph&,
+                                  const broadcast_workload&,
+                                  const run_options&)>
+      run;
+};
+
+/// Process-wide protocol id -> entry table; builtins register on first use.
+class protocol_registry {
+ public:
+  static protocol_registry& instance();
+
+  void add(protocol_entry e) {
+    RN_REQUIRE(static_cast<bool>(e.run), "protocol has no runner: " + e.id);
+    table_.add(std::move(e));
+  }
+  [[nodiscard]] const protocol_entry* find(std::string_view id) const {
+    return table_.find(id);
+  }
+  /// Registration order.
+  [[nodiscard]] std::vector<std::string> ids() const { return table_.keys(); }
+  [[nodiscard]] std::string ids_joined() const { return table_.keys_joined(); }
+
+ private:
+  protocol_registry();
+  keyed_registry<protocol_entry, &protocol_entry::id> table_{"protocol id"};
+};
+
+/// Runs `protocol` on `g` with the given workload. Throws contract_error for
+/// an unknown protocol id, and when a single-message protocol receives a
+/// workload with messages != 1.
+[[nodiscard]] broadcast_outcome run_broadcast(const graph::graph& g,
+                                              std::string_view protocol,
+                                              const broadcast_workload& w,
+                                              const run_options& opt);
+
+// --- deprecated enum shims (kept for exactly one PR) -------------------------
 
 enum class single_algorithm {
   decay,          ///< BGI Decay (baseline)
@@ -25,28 +106,20 @@ enum class multi_algorithm {
   rlnc_unknown_cd,   ///< Theorem 1.3
 };
 
+/// Maps an enum to its registry id ("decay", ..., "rlnc-unknown-cd").
 [[nodiscard]] std::string to_string(single_algorithm a);
 [[nodiscard]] std::string to_string(multi_algorithm a);
 
-struct run_options {
-  std::size_t n_hat = 0;
-  level_t d_hat = 0;
-  std::uint64_t seed = 1;
-  params prm = params::paper();
-  std::size_t payload_size = 32;
-  /// Fast-forward transmitter-free rounds in the GST-based algorithms
-  /// (bit-identical results; ignored by the Decay baselines, which schedule
-  /// a coin flip for every informed node every round).
-  bool fast_forward = false;
-};
-
 /// Runs a single-message broadcast with the chosen algorithm.
+[[deprecated("use run_broadcast(g, to_string(alg), {source}, opt)")]]
 [[nodiscard]] radio::broadcast_result run_single(const graph::graph& g,
                                                  node_id source,
                                                  single_algorithm alg,
                                                  const run_options& opt);
 
-/// Runs a k-message broadcast with the chosen algorithm.
+/// Runs a k-message broadcast with the chosen algorithm. Completion includes
+/// the payload check for the coding algorithms (historical folding).
+[[deprecated("use run_broadcast(g, to_string(alg), {source, k}, opt)")]]
 [[nodiscard]] radio::broadcast_result run_multi(const graph::graph& g,
                                                 node_id source, std::size_t k,
                                                 multi_algorithm alg,

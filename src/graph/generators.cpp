@@ -1,5 +1,6 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -119,16 +120,41 @@ graph random_gnp_connected(std::size_t n, double p, std::uint64_t seed) {
 
 graph random_unit_disk(std::size_t n, double radius, std::uint64_t seed) {
   RN_REQUIRE(n >= 1 && radius > 0, "unit disk parameters");
+  // Any cell width >= radius means an edge spans at most one cell boundary
+  // per axis, so scanning the 3x3 neighborhood finds exactly the brute-force
+  // edge set while only the points draw randomness. The grid is clamped to
+  // ~sqrt(n) cells per axis so memory stays O(n) at any radius.
+  const double min_width = 1.0 / (std::sqrt(static_cast<double>(n)) + 1.0);
+  const double cell_width = std::max(radius, min_width);
+  const std::size_t cells =
+      cell_width >= 1.0 ? 1 : static_cast<std::size_t>(1.0 / cell_width) + 1;
   for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
     rng r(seed + attempt * 0x9d5f3ULL);
     std::vector<std::pair<double, double>> pts(n);
     for (auto& pt : pts) pt = {r.uniform01(), r.uniform01()};
+    auto cell_of = [&](double x) {
+      auto c = static_cast<std::size_t>(x / cell_width);
+      return c >= cells ? cells - 1 : c;
+    };
+    std::vector<std::vector<node_id>> grid_cells(cells * cells);
+    for (node_id i = 0; i < n; ++i)
+      grid_cells[cell_of(pts[i].first) * cells + cell_of(pts[i].second)]
+          .push_back(i);
     graph::builder b(n);
     for (node_id i = 0; i < n; ++i) {
-      for (node_id j = i + 1; j < n; ++j) {
-        const double dx = pts[i].first - pts[j].first;
-        const double dy = pts[i].second - pts[j].second;
-        if (std::sqrt(dx * dx + dy * dy) <= radius) b.add_edge(i, j);
+      const std::size_t cx = cell_of(pts[i].first);
+      const std::size_t cy = cell_of(pts[i].second);
+      for (std::size_t nx = cx > 0 ? cx - 1 : 0;
+           nx <= (cx + 1 < cells ? cx + 1 : cells - 1); ++nx) {
+        for (std::size_t ny = cy > 0 ? cy - 1 : 0;
+             ny <= (cy + 1 < cells ? cy + 1 : cells - 1); ++ny) {
+          for (const node_id j : grid_cells[nx * cells + ny]) {
+            if (j <= i) continue;
+            const double dx = pts[i].first - pts[j].first;
+            const double dy = pts[i].second - pts[j].second;
+            if (std::sqrt(dx * dx + dy * dy) <= radius) b.add_edge(i, j);
+          }
+        }
       }
     }
     graph g = std::move(b).build();
@@ -136,6 +162,45 @@ graph random_unit_disk(std::size_t n, double radius, std::uint64_t seed) {
   }
   RN_REQUIRE(false, "unit disk never connected; radius too small");
   return {};
+}
+
+graph power_law(std::size_t n, std::size_t edges_per_node,
+                std::uint64_t seed) {
+  RN_REQUIRE(n >= 2 && edges_per_node >= 1, "power law parameters");
+  rng r(seed);
+  graph::builder b(n);
+  // One entry per edge endpoint: sampling it uniformly is sampling a node
+  // with probability proportional to degree (the classic BA list trick).
+  std::vector<node_id> endpoints;
+  endpoints.reserve(2 * edges_per_node * n);
+  std::vector<node_id> chosen;
+  for (node_id v = 1; v < n; ++v) {
+    const std::size_t m = std::min<std::size_t>(edges_per_node, v);
+    chosen.clear();
+    if (m == v) {
+      for (node_id u = 0; u < v; ++u) chosen.push_back(u);
+    } else {
+      for (std::size_t e = 0; e < m; ++e) {
+        node_id pick = endpoints.empty() ? 0 : no_node;
+        for (int tries = 0; tries < 64 && pick == no_node; ++tries) {
+          const node_id cand = endpoints[r.uniform(endpoints.size())];
+          if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end())
+            pick = cand;
+        }
+        if (pick == no_node)  // pathological rejection streak: first unused id
+          for (node_id u = 0; u < v && pick == no_node; ++u)
+            if (std::find(chosen.begin(), chosen.end(), u) == chosen.end())
+              pick = u;
+        chosen.push_back(pick);
+      }
+    }
+    for (const node_id u : chosen) {
+      b.add_edge(v, u);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return std::move(b).build();
 }
 
 graph clique_chain(std::size_t cliques, std::size_t clique_size) {

@@ -54,9 +54,18 @@ struct layered_options {
                                          std::uint64_t seed);
 
 /// Random unit-disk graph: n points uniform in [0,1]^2, edge iff distance <=
-/// radius; resampled until connected.
+/// radius; resampled until connected. Edge discovery uses a radius-sized cell
+/// grid, so generation is O(n + edges) expected — usable at n = 10^5+.
 [[nodiscard]] graph random_unit_disk(std::size_t n, double radius,
                                      std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: nodes arrive one at a time and
+/// attach `edges_per_node` edges to distinct earlier nodes, each chosen with
+/// probability proportional to its current degree (node i < edges_per_node
+/// attaches to all i earlier nodes). Connected by construction; the degree
+/// distribution develops the power-law hub tail the sweep experiments need.
+[[nodiscard]] graph power_law(std::size_t n, std::size_t edges_per_node,
+                              std::uint64_t seed);
 
 /// A chain of `cliques` cliques of size `clique_size`, consecutive cliques
 /// joined by a single bridge edge. Diameter ~ 2 * cliques; heavy contention

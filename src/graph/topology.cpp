@@ -1,0 +1,234 @@
+#include "graph/topology.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "graph/generators.h"
+
+namespace rn::graph {
+
+double topology_spec::param(std::string_view name, double fallback) const {
+  for (const auto& [k, v] : params)
+    if (k == name) return v;
+  return fallback;
+}
+
+bool topology_spec::has_param(std::string_view name) const {
+  for (const auto& [k, v] : params)
+    if (k == name) return true;
+  return false;
+}
+
+void topology_spec::set_param(std::string_view name, double value) {
+  for (auto& [k, v] : params) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  params.emplace_back(std::string(name), value);
+}
+
+namespace {
+
+std::string format_value(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  RN_REQUIRE(ec == std::errc(), "unformattable parameter value");
+  return std::string(buf, ptr);
+}
+
+/// Reads params off a spec while checking every provided name is known, so a
+/// typo ("with=8") fails instead of silently running the default.
+class param_reader {
+ public:
+  explicit param_reader(const topology_spec& spec) : spec_(spec) {}
+
+  double get(std::string_view name, double fallback) {
+    known_.emplace_back(name);
+    return spec_.param(name, fallback);
+  }
+
+  std::size_t count(std::string_view name, std::size_t fallback) {
+    const double v = get(name, static_cast<double>(fallback));
+    RN_REQUIRE(v >= 0 && v == std::floor(v),
+               "topology param must be a non-negative integer: " +
+                   std::string(name) + " in " + spec_.to_string());
+    return static_cast<std::size_t>(v);
+  }
+
+  /// Call after all get()/count() calls: rejects unconsumed spec params.
+  void finish() const {
+    for (const auto& [k, v] : spec_.params) {
+      bool ok = false;
+      for (const auto& name : known_)
+        if (name == k) ok = true;
+      RN_REQUIRE(ok, "unknown parameter '" + k + "' for topology kind '" +
+                         spec_.kind + "'");
+    }
+  }
+
+ private:
+  const topology_spec& spec_;
+  std::vector<std::string> known_;
+};
+
+}  // namespace
+
+std::string topology_spec::to_string() const {
+  std::string out = kind;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += params[i].first;
+    out += "=";
+    out += format_value(params[i].second);
+  }
+  return out;
+}
+
+topology_registry& topology_registry::instance() {
+  static topology_registry reg;
+  return reg;
+}
+
+topology_registry::topology_registry() {
+  auto wrap = [this](const char* kind, const char* params_help,
+                     topology_generator make) {
+    add({kind, params_help, std::move(make)});
+  };
+  wrap("path", "n", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 16);
+    p.finish();
+    return path(n);
+  });
+  wrap("cycle", "n", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 16);
+    p.finish();
+    return cycle(n);
+  });
+  wrap("star", "n", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 16);
+    p.finish();
+    return star(n);
+  });
+  wrap("complete", "n", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 16);
+    p.finish();
+    return complete(n);
+  });
+  wrap("grid", "rows, cols", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t rows = p.count("rows", 4);
+    const std::size_t cols = p.count("cols", 4);
+    p.finish();
+    return grid(rows, cols);
+  });
+  wrap("binary_tree", "n", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 15);
+    p.finish();
+    return binary_tree(n);
+  });
+  wrap("caterpillar", "spine, legs", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t spine = p.count("spine", 8);
+    const std::size_t legs = p.count("legs", 2);
+    p.finish();
+    return caterpillar(spine, legs);
+  });
+  wrap("layered", "depth, width, edge_prob, intra_prob",
+       [](const topology_spec& s) {
+         param_reader p(s);
+         layered_options lo;
+         lo.depth = p.count("depth", lo.depth);
+         lo.width = p.count("width", lo.width);
+         lo.edge_prob = p.get("edge_prob", lo.edge_prob);
+         lo.intra_prob = p.get("intra_prob", lo.intra_prob);
+         lo.seed = s.seed;
+         p.finish();
+         return random_layered(lo);
+       });
+  wrap("gnp", "n, p", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 32);
+    const double prob = p.get("p", 0.2);
+    p.finish();
+    return random_gnp_connected(n, prob, s.seed);
+  });
+  wrap("unit_disk", "n, radius", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 40);
+    const double radius = p.get("radius", 0.3);
+    p.finish();
+    return random_unit_disk(n, radius, s.seed);
+  });
+  wrap("power_law", "n, edges_per_node", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t n = p.count("n", 64);
+    const std::size_t m = p.count("edges_per_node", 2);
+    p.finish();
+    return power_law(n, m, s.seed);
+  });
+  wrap("clique_chain", "cliques, clique_size", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t cliques = p.count("cliques", 4);
+    const std::size_t clique_size = p.count("clique_size", 4);
+    p.finish();
+    return clique_chain(cliques, clique_size);
+  });
+  wrap("dumbbell", "side, bridge_len", [](const topology_spec& s) {
+    param_reader p(s);
+    const std::size_t side = p.count("side", 8);
+    const std::size_t bridge_len = p.count("bridge_len", 2);
+    p.finish();
+    return dumbbell(side, bridge_len);
+  });
+}
+
+graph build_topology(const topology_spec& spec) {
+  const auto* e = topology_registry::instance().find(spec.kind);
+  RN_REQUIRE(e != nullptr,
+             "unknown topology kind '" + spec.kind + "' (known: " +
+                 topology_registry::instance().kinds_joined() + ")");
+  return e->make(spec);
+}
+
+topology_spec parse_topology_spec(std::string_view text) {
+  RN_REQUIRE(!text.empty(), "empty topology spec");
+  topology_spec spec;
+  const std::size_t colon = text.find(':');
+  spec.kind = std::string(text.substr(0, colon));
+  RN_REQUIRE(!spec.kind.empty(), "topology spec has no kind: " +
+                                     std::string(text));
+  if (colon == std::string_view::npos) return spec;
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    RN_REQUIRE(eq != std::string_view::npos && eq > 0,
+               "bad topology parameter (want name=value): " +
+                   std::string(item));
+    const std::string name(item.substr(0, eq));
+    const std::string value(item.substr(eq + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    RN_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+               "bad numeric value for topology parameter '" + name +
+                   "': " + value);
+    spec.set_param(name, v);
+  }
+  return spec;
+}
+
+}  // namespace rn::graph

@@ -1,12 +1,16 @@
 #include "sim/cli.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <string_view>
+#include <vector>
 
+#include "common/check.h"
+#include "core/api.h"
+#include "graph/topology.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
 
@@ -17,13 +21,24 @@ namespace {
 void print_usage(std::ostream& os, const char* prog) {
   os << "usage: " << prog
      << " [--experiment ID|all] [--trials N] [--threads N] [--seed S]\n"
+     << "       [--topology SPEC [--protocol IDS] [--sweep PARAM=V1,V2,..]"
+        " [--messages K]]\n"
      << "       [--json PATH] [--list] [--help]\n\n"
-     << "  --experiment, -e  experiment id (see --list), or 'all'\n"
+     << "  --experiment, -e  experiment id (see --list), or 'all' (slow\n"
+     << "                    scale sweeps are skipped; run them by id)\n"
      << "  --trials,     -t  Monte Carlo trials per scenario (default: per"
         " experiment)\n"
      << "  --threads,    -j  worker threads (default: hardware concurrency);\n"
      << "                    results are identical at every thread count\n"
      << "  --seed,       -s  run seed (default 1)\n"
+     << "  --topology        ad-hoc workload: topology spec"
+        " kind:param=value,...\n"
+     << "                    (e.g. layered:depth=12,width=8 — see --list)\n"
+     << "  --protocol        comma-separated protocol ids for the ad-hoc\n"
+     << "                    workload (default: decay)\n"
+     << "  --sweep           PARAM=V1,V2,...: one scenario per value,\n"
+     << "                    overriding PARAM of the --topology spec\n"
+     << "  --messages        ad-hoc workload message count (default 1)\n"
      << "  --json            also write machine-readable results to PATH\n"
      << "  --timing          write a wall-clock/engine sidecar JSON to PATH\n"
      << "                    (results are mode- and thread-independent; only\n"
@@ -31,7 +46,7 @@ void print_usage(std::ostream& os, const char* prog) {
      << "  --no-fast-forward cross-check mode: step every protocol round\n"
      << "                    instead of skipping idle ones (same results,\n"
      << "                    more wall-clock)\n"
-     << "  --list            list registered experiments and exit\n";
+     << "  --list            list experiments, topology kinds and protocols\n";
 }
 
 bool parse_u64(std::string_view s, std::uint64_t& out) {
@@ -45,6 +60,90 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
   }
   out = v;
   return true;
+}
+
+std::vector<std::string> split_commas(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    out.emplace_back(s.substr(0, comma));
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+  }
+  return out;
+}
+
+/// Builds the synthetic "adhoc" experiment for --topology/--protocol/--sweep.
+/// Everything is validated here, so errors surface before any trial runs.
+experiment make_adhoc_experiment(const cli_options& opt) {
+  const graph::topology_spec base = graph::parse_topology_spec(opt.topology);
+  RN_REQUIRE(graph::topology_registry::instance().find(base.kind) != nullptr,
+             "unknown topology kind '" + base.kind + "' (try --list)");
+
+  std::vector<std::string> protocol_ids =
+      split_commas(opt.protocols.empty() ? "decay" : opt.protocols);
+  for (const auto& id : protocol_ids) {
+    const auto* p = core::protocol_registry::instance().find(id);
+    RN_REQUIRE(p != nullptr, "unknown protocol '" + id + "' (try --list)");
+    RN_REQUIRE(opt.messages == 1 || p->multi_message,
+               "protocol '" + id + "' is single-message; drop it or use"
+               " --messages 1");
+  }
+
+  std::string sweep_param;
+  std::vector<double> sweep_values;
+  if (!opt.sweep.empty()) {
+    const std::size_t eq = opt.sweep.find('=');
+    RN_REQUIRE(eq != std::string::npos && eq > 0,
+               "bad --sweep (want PARAM=V1,V2,...): " + opt.sweep);
+    sweep_param = opt.sweep.substr(0, eq);
+    for (const auto& v : split_commas(std::string_view(opt.sweep).substr(eq + 1))) {
+      // Reuse the spec grammar ("x:param=value") so --sweep values parse
+      // exactly like topology parameters.
+      const auto one =
+          graph::parse_topology_spec("x:" + sweep_param + "=" + v);
+      sweep_values.push_back(one.param(sweep_param, 0.0));
+    }
+    RN_REQUIRE(!sweep_values.empty(), "empty --sweep value list");
+  }
+
+  experiment e;
+  e.id = "adhoc";
+  e.title = "ad-hoc workload: " + base.to_string();
+  e.claim = "(user-defined workload; no registered paper claim)";
+  e.profile = "fast";
+  e.default_trials = 8;
+  e.record_topology = true;
+  e.make_scenarios = [base, protocol_ids, sweep_param, sweep_values,
+                      messages = opt.messages] {
+    std::vector<scenario> out;
+    const std::size_t points =
+        sweep_values.empty() ? 1 : sweep_values.size();
+    for (std::size_t i = 0; i < points; ++i) {
+      scenario sc;
+      sc.topology = base;
+      if (!sweep_values.empty()) {
+        sc.topology.set_param(sweep_param, sweep_values[i]);
+        // "x:param=value" with the canonical value formatting, minus "x:".
+        sc.label = graph::topology_spec{"x", {{sweep_param, sweep_values[i]}}}
+                       .to_string()
+                       .substr(2);
+        sc.params = {{sweep_param, sweep_values[i]}};
+      } else {
+        sc.label = base.kind;
+      }
+      sc.workload.messages = messages;
+      sc.options.prm = core::params::fast();
+      for (const auto& id : protocol_ids) sc.probes.push_back({id, id});
+      out.push_back(std::move(sc));
+    }
+    return out;
+  };
+  // One dry build of the first scenario (base spec + sweep param): a
+  // mistyped parameter name fails here, before any trial runs. Later sweep
+  // points only change this parameter's value, so one build checks them all.
+  static_cast<void>(graph::build_topology(e.make_scenarios().front().topology));
+  return e;
 }
 
 }  // namespace
@@ -75,10 +174,23 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
       const char* v = value(arg);
       if (v == nullptr) return false;
       out.timing_path = v;
+    } else if (arg == "--topology") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.topology = v;
+    } else if (arg == "--protocol") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.protocols = v;
+    } else if (arg == "--sweep") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.sweep = v;
     } else if (arg == "--no-fast-forward") {
       out.no_fast_forward = true;
     } else if (arg == "--trials" || arg == "-t" || arg == "--threads" ||
-               arg == "-j" || arg == "--seed" || arg == "-s") {
+               arg == "-j" || arg == "--seed" || arg == "-s" ||
+               arg == "--messages") {
       const char* v = value(arg);
       if (v == nullptr) return false;
       std::uint64_t n = 0;
@@ -94,6 +206,12 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
         out.trials = static_cast<std::size_t>(n);
       } else if (arg == "--threads" || arg == "-j") {
         out.threads = static_cast<unsigned>(n);
+      } else if (arg == "--messages") {
+        if (n == 0) {
+          std::cerr << "--messages must be >= 1\n";
+          return false;
+        }
+        out.messages = static_cast<std::size_t>(n);
       } else {
         out.seed = n;
       }
@@ -105,9 +223,8 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
   return true;
 }
 
-int run_suite(int argc, char** argv, const char* forced_experiment) {
+int run_suite(int argc, char** argv) {
   cli_options opt;
-  if (forced_experiment != nullptr) opt.experiment = forced_experiment;
   if (!parse_cli(argc, argv, opt)) {
     print_usage(std::cerr, argv[0]);
     return 2;
@@ -119,28 +236,71 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
 
   const registry& reg = registry::instance();
   if (opt.list) {
+    std::cout << "experiments:\n";
     for (const auto& id : reg.ids()) {
       const experiment* e = reg.find(id);
-      std::cout << id << "  " << e->title << "\n";
+      std::cout << "  " << id << "  " << e->title
+                << (e->slow ? "  [slow: excluded from 'all']" : "") << "\n";
+    }
+    std::cout << "\ntopology kinds (--topology kind:param=value,...):\n";
+    for (const auto& kind : graph::topology_registry::instance().kinds()) {
+      const auto* t = graph::topology_registry::instance().find(kind);
+      std::cout << "  " << kind << "  (" << t->params_help << ")\n";
+    }
+    std::cout << "\nprotocols (--protocol id[,id...]):\n";
+    for (const auto& id : core::protocol_registry::instance().ids()) {
+      const auto* p = core::protocol_registry::instance().find(id);
+      std::string col = "  " + id + (p->multi_message ? " [multi]" : "");
+      col.resize(std::max<std::size_t>(col.size(), 26), ' ');
+      std::cout << col << p->summary << "\n";
     }
     return 0;
   }
-  if (opt.experiment.empty()) {
-    std::cerr << "no experiment selected\n";
-    print_usage(std::cerr, argv[0]);
+
+  if (opt.topology.empty() &&
+      (!opt.protocols.empty() || !opt.sweep.empty() || opt.messages != 1)) {
+    std::cerr << "--protocol/--sweep/--messages define an ad-hoc workload"
+                 " and require --topology\n";
     return 2;
   }
 
-  std::vector<std::string> ids;
-  if (opt.experiment == "all") {
-    ids = reg.ids();
-  } else {
-    if (reg.find(opt.experiment) == nullptr) {
+  experiment adhoc;
+  std::vector<const experiment*> selected;
+  if (!opt.topology.empty()) {
+    if (!opt.experiment.empty()) {
+      std::cerr << "--topology defines an ad-hoc workload; drop"
+                   " --experiment\n";
+      return 2;
+    }
+    try {
+      adhoc = make_adhoc_experiment(opt);
+    } catch (const std::exception& ex) {
+      std::cerr << ex.what() << "\n";
+      return 2;
+    }
+    selected.push_back(&adhoc);
+  } else if (opt.experiment == "all") {
+    for (const auto& id : reg.ids()) {
+      const experiment* e = reg.find(id);
+      if (e->slow) {
+        std::cerr << "skipping " << id << " (slow; run with -e " << id
+                  << ")\n";
+        continue;
+      }
+      selected.push_back(e);
+    }
+  } else if (!opt.experiment.empty()) {
+    const experiment* e = reg.find(opt.experiment);
+    if (e == nullptr) {
       std::cerr << "unknown experiment: " << opt.experiment
                 << " (try --list)\n";
       return 2;
     }
-    ids.push_back(opt.experiment);
+    selected.push_back(e);
+  } else {
+    std::cerr << "no experiment selected\n";
+    print_usage(std::cerr, argv[0]);
+    return 2;
   }
 
   set_fast_forward(!opt.no_fast_forward);
@@ -148,15 +308,23 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
   json_value all = json_value::array();
   json_value timing_rows = json_value::array();
   double total_wall_ms = 0.0;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const experiment* e = reg.find(ids[i]);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const experiment* e = selected[i];
     run_config cfg;
     cfg.trials = opt.trials != 0 ? opt.trials : e->default_trials;
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
     const engine_snapshot before = engine_counters();
     const auto t0 = std::chrono::steady_clock::now();
-    const experiment_result result = run_experiment(*e, cfg);
+    experiment_result result;
+    try {
+      result = run_experiment(*e, cfg);
+    } catch (const std::exception& ex) {
+      // Trial-time contract violations (e.g. a bad ad-hoc topology
+      // parameter) surface as a clean error, not std::terminate.
+      std::cerr << ex.what() << "\n";
+      return 2;
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const engine_snapshot after = engine_counters();
     const double wall_ms =
@@ -169,6 +337,12 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
       json_value row = json_value::object();
       row["id"] = e->id;
       row["wall_ms"] = wall_ms;
+      row["scenarios"] = result.scenarios.size();
+      // Scenario-level parallelism evidence: the flattened queue offers
+      // scenarios x trials units to resolve_threads, not trials.
+      row["work_units"] = result.scenarios.size() * cfg.trials;
+      row["workers"] = static_cast<std::uint64_t>(
+          resolve_threads(cfg.threads, result.scenarios.size() * cfg.trials));
       row["stepped_rounds"] = after.stepped_rounds - before.stepped_rounds;
       row["skipped_rounds"] = after.skipped_rounds - before.skipped_rounds;
       timing_rows.push_back(std::move(row));
@@ -189,6 +363,8 @@ int run_suite(int argc, char** argv, const char* forced_experiment) {
     timing["schema"] = "rn-bench-timing-v1";
     timing["fast_forward"] = !opt.no_fast_forward;
     timing["seed"] = opt.seed;
+    // 0 = hardware concurrency
+    timing["threads"] = static_cast<std::uint64_t>(opt.threads);
     timing["experiments"] = std::move(timing_rows);
     timing["total_wall_ms"] = total_wall_ms;
     std::ofstream out(opt.timing_path);

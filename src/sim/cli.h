@@ -13,7 +13,7 @@
 namespace rn::sim {
 
 struct cli_options {
-  std::string experiment;    ///< id, or "all"
+  std::string experiment;    ///< id, or "all" (skips slow-labeled sweeps)
   std::size_t trials = 0;    ///< 0 = each experiment's default_trials
   unsigned threads = 0;      ///< 0 = hardware concurrency
   std::uint64_t seed = 1;
@@ -25,6 +25,13 @@ struct cli_options {
   /// Disable fast-forward execution (cross-check mode: identical results,
   /// every protocol round resolved on the channel).
   bool no_fast_forward = false;
+  /// Ad-hoc workload mode (no recompiling): "kind:param=value,..." topology,
+  /// comma-separated protocol ids, and an optional "param=v1,v2,..." sweep
+  /// that expands into one scenario per value. Exclusive with --experiment.
+  std::string topology;
+  std::string protocols;     ///< default "decay" when --topology is given
+  std::string sweep;
+  std::size_t messages = 1;  ///< workload message count for ad-hoc runs
   bool list = false;
   bool help = false;
 };
@@ -32,9 +39,7 @@ struct cli_options {
 /// Parses argv; returns false (with a message on stderr) on bad usage.
 [[nodiscard]] bool parse_cli(int argc, char** argv, cli_options& out);
 
-/// Full driver: parse, run, report. `forced_experiment` preselects the
-/// experiment id (the thin bench_eN wrappers); any CLI flag, including
-/// --experiment, still overrides it. Returns a process exit code.
-int run_suite(int argc, char** argv, const char* forced_experiment = nullptr);
+/// Full driver: parse, run, report. Returns a process exit code.
+int run_suite(int argc, char** argv);
 
 }  // namespace rn::sim

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "sim/engine.h"
 
 namespace rn::sim {
 
@@ -36,6 +37,43 @@ std::vector<metric_summary> aggregate(const std::vector<metrics>& per_trial) {
   return out;
 }
 
+trial_fn make_trial(const scenario& sc) {
+  if (sc.run) return sc.run;
+  RN_REQUIRE(!sc.probes.empty(),
+             "scenario '" + sc.label + "' has neither probes nor a trial fn");
+  // Captured by value: the trial outlives the scenario list on the queue.
+  return [topology = sc.topology, workload = sc.workload, options = sc.options,
+          probes = sc.probes](std::size_t, rng& r) {
+    graph::topology_spec spec = topology;
+    spec.seed = r();
+    const graph::graph g = graph::build_topology(spec);
+    metrics m;
+    for (const auto& p : probes) {
+      core::run_options opt = options;
+      opt.fast_forward = use_fast_forward();
+      opt.seed = r();
+      if (p.payload_size != 0) opt.payload_size = p.payload_size;
+      if (p.message_seed != 0) opt.message_seed = p.message_seed;
+      const core::broadcast_outcome out =
+          core::run_broadcast(g, p.protocol, workload, opt);
+      round_t setup = 0;
+      if (!p.relay_phase.empty()) {
+        for (const auto& [name, rounds] : out.base.phase_rounds)
+          if (p.relay_phase != name) setup += rounds;
+        if (!p.setup_metric.empty())
+          m.set(p.setup_metric, static_cast<double>(setup));
+      }
+      m.set(p.metric,
+            static_cast<double>(out.base.rounds_to_complete - setup));
+      if (!p.completed_metric.empty())
+        m.set(p.completed_metric, out.base.completed ? 1.0 : 0.0);
+      if (!p.verified_metric.empty())
+        m.set(p.verified_metric, out.payloads_verified ? 1.0 : 0.0);
+    }
+    return m;
+  };
+}
+
 experiment_result run_experiment(const experiment& e, const run_config& cfg) {
   RN_REQUIRE(static_cast<bool>(e.make_scenarios),
              "experiment has no scenario factory: " + e.id);
@@ -45,20 +83,31 @@ experiment_result run_experiment(const experiment& e, const run_config& cfg) {
   result.trials_requested = cfg.trials;
 
   const auto scenarios = e.make_scenarios();
+  std::vector<trial_fn> fns;
+  fns.reserve(scenarios.size());
+  for (const auto& sc : scenarios) fns.push_back(make_trial(sc));
+
+  // Flatten scenarios x trials into one queue so one slow scenario cannot
+  // serialize the experiment. Unit u = (s, t) keeps the historical stream
+  // (s << 32) + t, so results are identical to the scenario-sequential runner
+  // at every thread count.
+  std::vector<std::vector<metrics>> per_trial(scenarios.size());
+  for (auto& v : per_trial) v.resize(cfg.trials);
+  run_parallel(scenarios.size() * cfg.trials, cfg.threads, [&](std::size_t u) {
+    const std::size_t s = u / cfg.trials;
+    const std::size_t t = u % cfg.trials;
+    rng r = rng::for_stream(cfg.seed, (static_cast<std::uint64_t>(s) << 32) + t);
+    per_trial[s][t] = fns[s](t, r);
+  });
+
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    const scenario& sc = scenarios[s];
-    run_config trial_cfg = cfg;
-    if (sc.max_trials != 0 && trial_cfg.trials > sc.max_trials)
-      trial_cfg.trials = sc.max_trials;
-    trial_cfg.stream_base = static_cast<std::uint64_t>(s) << 32;
-
-    const trial_results trials = run_trials(trial_cfg, sc.run);
-
     scenario_result sr;
-    sr.label = sc.label;
-    sr.params = sc.params;
-    sr.trials = trial_cfg.trials;
-    sr.summaries = aggregate(trials.per_trial);
+    sr.label = scenarios[s].label;
+    sr.params = scenarios[s].params;
+    if (!scenarios[s].probes.empty() && !scenarios[s].run)
+      sr.topology = scenarios[s].topology.to_string();
+    sr.trials = cfg.trials;
+    sr.summaries = aggregate(per_trial[s]);
     result.scenarios.push_back(std::move(sr));
   }
   return result;
@@ -131,7 +180,9 @@ void print_report(std::ostream& os, const experiment& e,
 
 json_value to_json(const experiment& e, const experiment_result& r) {
   json_value root = json_value::object();
-  root["schema"] = "rn-bench-v1";
+  // v2 adds the per-scenario "topology" spec; the ported E1..E9 hold the v1
+  // byte layout for one PR so pre-redesign results files compare equal.
+  root["schema"] = e.record_topology ? "rn-bench-v2" : "rn-bench-v1";
   root["experiment"] = r.id;
   root["title"] = e.title;
   root["claim"] = e.claim;
@@ -143,6 +194,8 @@ json_value to_json(const experiment& e, const experiment_result& r) {
   for (const auto& sr : r.scenarios) {
     json_value js = json_value::object();
     js["label"] = sr.label;
+    if (e.record_topology && !sr.topology.empty())
+      js["topology"] = sr.topology;
     json_value params = json_value::object();
     for (const auto& [name, value] : sr.params) params[name] = value;
     js["params"] = std::move(params);

@@ -1,15 +1,20 @@
-// Named experiments on top of the trial-parallel runner.
+// Named experiments on top of the scenario-parallel runner.
 //
-// An experiment is a list of scenarios (e.g. one per diameter value); each
-// scenario supplies a trial function measuring one or more named metrics.
-// `run_experiment` executes every scenario's trials on the thread pool and
-// aggregates each metric into a `stats_summary`; the result renders as the
-// classic aligned text table and/or as machine-readable JSON (the BENCH_*.json
-// format the CI perf trajectory accumulates).
+// An experiment is a list of scenarios (e.g. one per diameter value). A
+// scenario is declarative by default: a topology spec names the graph family
+// and a list of protocol probes names what runs on it and which metric
+// columns it produces; `trial_fn run` remains as an escape hatch for the
+// construction/coding experiments that measure something other than a
+// registered broadcast protocol. `run_experiment` flattens
+// experiment -> scenarios -> trials into one global work queue on the thread
+// pool (scenario-level parallelism) and aggregates each metric into a
+// `stats_summary`; the result renders as the classic aligned text table
+// and/or as machine-readable JSON (the BENCH_*.json format the CI perf
+// trajectory accumulates).
 //
 // Determinism contract: scenario s / trial t always runs on rng stream
 // (s << 32) + t of the run seed, so aggregate results depend only on
-// (seed, trials) — never on --threads.
+// (seed, trials) — never on --threads or on which scenarios share the queue.
 #pragma once
 
 #include <cstdint>
@@ -20,21 +25,55 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/api.h"
+#include "graph/topology.h"
 #include "sim/json.h"
 #include "sim/runner.h"
 
 namespace rn::sim {
+
+/// One protocol run per trial of a declarative scenario, producing one or
+/// more metric columns. Draw order per trial: one rng draw for the topology
+/// seed, then one draw per probe for the protocol seed.
+struct protocol_probe {
+  protocol_probe() = default;
+  protocol_probe(std::string protocol_id, std::string metric_name)
+      : protocol(std::move(protocol_id)), metric(std::move(metric_name)) {}
+
+  std::string protocol;  ///< core::protocol_registry id
+  std::string metric;    ///< column for rounds_to_complete (or the
+                         ///< dissemination rounds when relay_phase is set)
+  /// Phase-split reporting (the Thm 1.1/1.3 setup-vs-dissemination rows):
+  /// when `relay_phase` is non-empty, every other phase's rounds sum into
+  /// `setup_metric` and `metric` becomes rounds_to_complete minus that setup.
+  std::string setup_metric;
+  std::string relay_phase;
+  std::string completed_metric;  ///< if non-empty, emit the completion flag
+  std::string verified_metric;   ///< if non-empty, emit payloads_verified
+  /// Per-probe option overrides (0 = inherit the scenario's options).
+  std::size_t payload_size = 0;
+  std::uint64_t message_seed = 0;
+};
 
 /// One parameter point of an experiment.
 struct scenario {
   std::string label;  ///< row label, e.g. "D=8"
   /// Key columns shown before the metrics (e.g. {"D", 8}, {"n", 241}).
   std::vector<std::pair<std::string, double>> params;
-  /// Hard cap on trials for expensive scenarios (0 = no cap). Applies
-  /// identically at every thread count, so determinism is unaffected.
-  std::size_t max_trials = 0;
+  /// Declarative form: a fresh `topology` member is built per trial (its seed
+  /// drawn from the trial rng) and every probe runs on it.
+  graph::topology_spec topology;
+  core::broadcast_workload workload;  ///< source + message count
+  core::run_options options;          ///< seed/fast_forward set per probe
+  std::vector<protocol_probe> probes;
+  /// Escape hatch: when set, it replaces the declarative fields entirely
+  /// (construction experiments, coding-layer measurements, noise models).
   trial_fn run;
 };
+
+/// The trial function a scenario executes: `run` if set, else the
+/// declarative topology + probes interpreter. Throws if neither is present.
+[[nodiscard]] trial_fn make_trial(const scenario& sc);
 
 struct experiment {
   std::string id;       ///< CLI name, e.g. "e1"
@@ -43,6 +82,11 @@ struct experiment {
   std::string profile;  ///< constants profile ("fast", "paper", ...)
   std::string notes;    ///< epilogue printed under the table
   std::size_t default_trials = 5;
+  /// Excluded from `--experiment all` (scale sweeps); run explicitly by id.
+  bool slow = false;
+  /// Emit rn-bench-v2 JSON (adds per-scenario "topology"). The ported E1..E9
+  /// stay on v1 for one PR so the pre-redesign results files byte-compare.
+  bool record_topology = false;
   /// Metric column order for the table; empty = first-seen order.
   std::vector<std::string> metric_columns;
   std::function<std::vector<scenario>()> make_scenarios;
@@ -56,7 +100,8 @@ struct metric_summary {
 struct scenario_result {
   std::string label;
   std::vector<std::pair<std::string, double>> params;
-  std::size_t trials = 0;  ///< trials actually run (after max_trials cap)
+  std::string topology;    ///< canonical spec text; empty for escape-hatch
+  std::size_t trials = 0;  ///< trials run
   std::vector<metric_summary> summaries;
 
   /// nullptr if no trial reported the metric.

@@ -34,6 +34,14 @@ struct trial_results {
 /// than `trials`.
 [[nodiscard]] unsigned resolve_threads(unsigned requested, std::size_t trials);
 
+/// Fans `count` independent work units out over a thread pool: `fn(u)` is
+/// called exactly once for every u in [0, count), in an unspecified order and
+/// possibly concurrently. `fn` owns its determinism (derive rng streams from
+/// u, write only to slot u). If a unit throws, the queue is drained and the
+/// first exception is rethrown after all workers have stopped.
+void run_parallel(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
 /// Runs `cfg.trials` trials of `fn`, in parallel when cfg.threads (or the
 /// hardware) allows. If a trial throws, the first exception is rethrown after
 /// all workers have stopped.

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "core/api.h"
+#include "graph/topology.h"
 #include "sim/cli.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 #include "sim/json.h"
 #include "sim/metrics.h"
@@ -233,20 +238,135 @@ TEST(Experiment, ScenariosUseDisjointStreams) {
   EXPECT_NE(a->mean - 100.0, b->mean - 200.0);
 }
 
-TEST(Experiment, MaxTrialsCapApplies) {
-  experiment e = make_toy_experiment();
-  e.make_scenarios = [base = e.make_scenarios] {
-    auto scenarios = base();
-    scenarios[0].max_trials = 3;
-    return scenarios;
+// The flattened runner puts every (scenario, trial) unit on one queue, so an
+// experiment with many scenarios and one trial each must overlap scenarios.
+// The sequential-scenario runner this replaced would never overlap them.
+TEST(Experiment, ScenarioLevelParallelismEngages) {
+  experiment e;
+  e.id = "parallel-probe";
+  e.title = e.claim = e.profile = "n/a";
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  e.make_scenarios = [&] {
+    std::vector<scenario> out;
+    for (int s = 0; s < 8; ++s) {
+      scenario sc;
+      sc.label = "s";
+      sc.label += std::to_string(s);
+      sc.run = [&](std::size_t, rng&) {
+        const int now = in_flight.fetch_add(1) + 1;
+        int seen = max_in_flight.load();
+        while (seen < now && !max_in_flight.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        in_flight.fetch_sub(1);
+        metrics m;
+        m.set("ok", 1);
+        return m;
+      };
+      out.push_back(std::move(sc));
+    }
+    return out;
   };
   run_config cfg;
-  cfg.trials = 10;
+  cfg.trials = 1;  // one trial per scenario: only scenarios can overlap
+  cfg.threads = 8;
+  const auto r = run_experiment(e, cfg);
+  EXPECT_EQ(r.scenarios.size(), 8u);
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
+TEST(Experiment, DeclarativeScenarioRunsProbes) {
+  experiment e;
+  e.id = "decl";
+  e.title = e.claim = e.profile = "n/a";
+  e.make_scenarios = [] {
+    scenario sc;
+    sc.label = "path";
+    sc.topology = graph::parse_topology_spec("path:n=8");
+    sc.options.prm = core::params::fast();
+    sc.probes = {{"decay", "decay_rounds"}, {"gst-known", "gst_rounds"}};
+    return std::vector<scenario>{std::move(sc)};
+  };
+  run_config cfg;
+  cfg.trials = 3;
   cfg.threads = 2;
   const auto r = run_experiment(e, cfg);
-  EXPECT_EQ(r.scenarios[0].trials, 3u);
-  EXPECT_EQ(r.scenarios[1].trials, 10u);
-  EXPECT_EQ(r.scenarios[0].find("x")->count, 3u);
+  ASSERT_EQ(r.scenarios.size(), 1u);
+  EXPECT_EQ(r.scenarios[0].topology, "path:n=8");
+  const auto* decay = r.scenarios[0].find("decay_rounds");
+  const auto* gst = r.scenarios[0].find("gst_rounds");
+  ASSERT_NE(decay, nullptr);
+  ASSERT_NE(gst, nullptr);
+  EXPECT_EQ(decay->count, 3u);
+  EXPECT_EQ(gst->count, 3u);
+  EXPECT_GT(decay->mean, 0.0);
+}
+
+// The declarative interpreter's draw contract: one topology-seed draw, then
+// one protocol-seed draw per probe — a hand-written trial following it
+// produces byte-identical JSON.
+TEST(Experiment, DeclarativeMatchesHandWrittenTrial) {
+  const char* spec_text = "layered:depth=4,width=3,edge_prob=0.4";
+  experiment decl;
+  decl.id = "same";
+  decl.title = decl.claim = decl.profile = "n/a";
+  decl.make_scenarios = [spec_text] {
+    scenario sc;
+    sc.label = "row";
+    sc.topology = graph::parse_topology_spec(spec_text);
+    sc.options.prm = core::params::fast();
+    sc.probes = {{"decay", "rounds"}};
+    return std::vector<scenario>{std::move(sc)};
+  };
+  experiment hand = decl;
+  hand.make_scenarios = [spec_text] {
+    scenario sc;
+    sc.label = "row";
+    sc.run = [spec_text](std::size_t, rng& r) {
+      auto spec = graph::parse_topology_spec(spec_text);
+      spec.seed = r();
+      const auto g = graph::build_topology(spec);
+      core::run_options opt;
+      opt.prm = core::params::fast();
+      opt.fast_forward = use_fast_forward();
+      opt.seed = r();
+      metrics m;
+      m.set("rounds",
+            static_cast<double>(
+                core::run_broadcast(g, "decay", {0, 1}, opt)
+                    .base.rounds_to_complete));
+      return m;
+    };
+    return std::vector<scenario>{std::move(sc)};
+  };
+  run_config cfg;
+  cfg.trials = 6;
+  cfg.seed = 99;
+  EXPECT_EQ(to_json(decl, run_experiment(decl, cfg)).dump(2),
+            to_json(hand, run_experiment(hand, cfg)).dump(2));
+}
+
+TEST(Experiment, UnknownProbeProtocolThrows) {
+  experiment e;
+  e.id = "bad";
+  e.title = e.claim = e.profile = "n/a";
+  e.make_scenarios = [] {
+    scenario sc;
+    sc.label = "row";
+    sc.topology = graph::parse_topology_spec("path:n=4");
+    sc.probes = {{"no-such-protocol", "x"}};
+    return std::vector<scenario>{std::move(sc)};
+  };
+  run_config cfg;
+  cfg.trials = 1;
+  EXPECT_THROW(static_cast<void>(run_experiment(e, cfg)), contract_error);
+}
+
+TEST(Experiment, ScenarioNeedsProbesOrTrialFn) {
+  scenario sc;
+  sc.label = "empty";
+  EXPECT_THROW(static_cast<void>(make_trial(sc)), contract_error);
 }
 
 TEST(Json, ScalarFormatting) {
@@ -281,6 +401,19 @@ TEST(Cli, ParsesAllFlags) {
   EXPECT_EQ(opt.threads, 8u);
   EXPECT_EQ(opt.seed, 5u);
   EXPECT_EQ(opt.json_path, "out.json");
+}
+
+TEST(Cli, ParsesAdhocWorkloadFlags) {
+  const char* argv[] = {"bench_suite", "--topology",
+                        "layered:depth=12,width=8", "--protocol",
+                        "decay,gst-known", "--sweep", "width=4,8,16",
+                        "--messages", "3"};
+  cli_options opt;
+  ASSERT_TRUE(parse_cli(9, const_cast<char**>(argv), opt));
+  EXPECT_EQ(opt.topology, "layered:depth=12,width=8");
+  EXPECT_EQ(opt.protocols, "decay,gst-known");
+  EXPECT_EQ(opt.sweep, "width=4,8,16");
+  EXPECT_EQ(opt.messages, 3u);
 }
 
 TEST(Cli, RejectsBadInput) {

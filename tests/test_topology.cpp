@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/topology.h"
+
+namespace rn::graph {
+namespace {
+
+// --- generator invariants ----------------------------------------------------
+
+TEST(PowerLaw, SizeEdgeCountAndConnectivity) {
+  const std::size_t n = 500, m = 2;
+  const auto g = power_law(n, m, 42);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_TRUE(g.connected());
+  // Node v attaches min(m, v) distinct edges to earlier nodes, all new.
+  std::size_t expected = 0;
+  for (std::size_t v = 1; v < n; ++v) expected += std::min(m, v);
+  EXPECT_EQ(g.edge_count(), expected);
+}
+
+TEST(PowerLaw, DegreeDistributionHasHubTail) {
+  const auto g = power_law(2000, 2, 7);
+  std::vector<std::size_t> degrees;
+  for (node_id v = 0; v < g.node_count(); ++v) degrees.push_back(g.degree(v));
+  std::sort(degrees.begin(), degrees.end());
+  const std::size_t median = degrees[degrees.size() / 2];
+  const std::size_t max = degrees.back();
+  // Preferential attachment: a hub far above the median (uniform attachment
+  // would keep max within a small constant of it).
+  EXPECT_LE(median, 4u);
+  EXPECT_GE(max, 10 * median);
+}
+
+TEST(PowerLaw, SeedDeterminism) {
+  const auto a = power_law(300, 3, 5);
+  const auto b = power_law(300, 3, 5);
+  const auto c = power_law(300, 3, 6);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(UnitDisk, GridMatchesBruteForceEdgeSet) {
+  // The cell-grid edge discovery must reproduce the O(n^2) definition:
+  // edge iff euclidean distance <= radius. Replays the generator's point
+  // draws (first 2n uniform01 values of rng(seed); radius is generous so
+  // attempt 0 connects) and compares the full pairwise edge set.
+  const std::size_t n = 150;
+  const double radius = 0.25;
+  const std::uint64_t seed = 11;
+  const auto g = random_unit_disk(n, radius, seed);
+  ASSERT_EQ(g.node_count(), n);
+  ASSERT_TRUE(g.connected());
+
+  rng r(seed);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& pt : pts) pt = {r.uniform01(), r.uniform01()};
+  std::vector<std::pair<node_id, node_id>> brute;
+  for (node_id i = 0; i < n; ++i) {
+    for (node_id j = i + 1; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      if (std::sqrt(dx * dx + dy * dy) <= radius) brute.emplace_back(i, j);
+    }
+  }
+  EXPECT_EQ(g.edges(), brute);
+}
+
+TEST(UnitDisk, LargeRadiusIsComplete) {
+  // radius >= sqrt(2) covers the unit square: every pair is an edge, and the
+  // single-cell code path is exercised.
+  const std::size_t n = 40;
+  const auto g = random_unit_disk(n, 1.5, 3);
+  EXPECT_EQ(g.edge_count(), n * (n - 1) / 2);
+}
+
+TEST(UnitDisk, TinyRadiusFailsCleanlyWithoutHugeGrid) {
+  // cells per axis is clamped to ~sqrt(n): a microscopic radius must walk
+  // its 64 disconnected attempts and throw, not allocate a 1/radius^2 grid.
+  EXPECT_THROW(static_cast<void>(random_unit_disk(20, 1e-6, 1)),
+               contract_error);
+}
+
+TEST(UnitDisk, SeedDeterminism) {
+  const auto a = random_unit_disk(200, 0.15, 21);
+  const auto b = random_unit_disk(200, 0.15, 21);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Gnp, ConnectivityAndDeterminism) {
+  const auto a = random_gnp_connected(80, 0.1, 13);
+  EXPECT_EQ(a.node_count(), 80u);
+  EXPECT_TRUE(a.connected());
+  const auto b = random_gnp_connected(80, 0.1, 13);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), random_gnp_connected(80, 0.1, 14).edges());
+}
+
+// --- topology specs ----------------------------------------------------------
+
+TEST(TopologySpec, ParsePrintRoundTrip) {
+  const auto spec =
+      parse_topology_spec("layered:depth=12,width=8,edge_prob=0.4");
+  EXPECT_EQ(spec.kind, "layered");
+  EXPECT_DOUBLE_EQ(spec.param("depth", 0), 12.0);
+  EXPECT_DOUBLE_EQ(spec.param("edge_prob", 0), 0.4);
+  EXPECT_DOUBLE_EQ(spec.param("absent", 7.5), 7.5);
+  EXPECT_EQ(spec.to_string(), "layered:depth=12,width=8,edge_prob=0.4");
+  EXPECT_EQ(parse_topology_spec(spec.to_string()), spec);
+  // Bare kind, no params.
+  EXPECT_EQ(parse_topology_spec("complete").to_string(), "complete");
+}
+
+TEST(TopologySpec, ParseRejectsGarbage) {
+  EXPECT_THROW(static_cast<void>(parse_topology_spec("")), contract_error);
+  EXPECT_THROW(static_cast<void>(parse_topology_spec("layered:depth")),
+               contract_error);
+  EXPECT_THROW(static_cast<void>(parse_topology_spec("layered:=3")),
+               contract_error);
+  EXPECT_THROW(static_cast<void>(parse_topology_spec("layered:depth=abc")),
+               contract_error);
+}
+
+TEST(TopologyRegistry, BuildIsSeedDeterministic) {
+  topology_spec spec = parse_topology_spec("unit_disk:n=60,radius=0.3");
+  spec.seed = 17;
+  const auto a = build_topology(spec);
+  const auto b = build_topology(spec);
+  EXPECT_EQ(a.edges(), b.edges());
+  spec.seed = 18;
+  EXPECT_NE(a.edges(), build_topology(spec).edges());
+}
+
+TEST(TopologyRegistry, EveryBuiltinKindBuilds) {
+  for (const auto& kind : topology_registry::instance().kinds()) {
+    topology_spec spec;
+    spec.kind = kind;
+    spec.seed = 5;
+    const auto g = build_topology(spec);  // defaults must be valid
+    EXPECT_GE(g.node_count(), 2u) << kind;
+    EXPECT_TRUE(g.connected()) << kind;
+  }
+}
+
+TEST(TopologyRegistry, SpecParamsReachTheGenerator) {
+  const auto g =
+      build_topology(parse_topology_spec("grid:rows=3,cols=7"));
+  EXPECT_EQ(g.node_count(), 21u);
+  const auto pl = build_topology(parse_topology_spec("power_law:n=64"));
+  EXPECT_EQ(pl.node_count(), 64u);
+  // Layered depth is exact by construction.
+  auto spec = parse_topology_spec("layered:depth=9,width=4");
+  spec.seed = 2;
+  const auto lg = build_topology(spec);
+  const auto bfs_result = bfs(lg, 0);
+  EXPECT_EQ(*std::max_element(bfs_result.level.begin(),
+                              bfs_result.level.end()),
+            9);
+}
+
+TEST(TopologyRegistry, UnknownKindAndParamFail) {
+  EXPECT_THROW(static_cast<void>(build_topology({"no_such_kind", {}, 1})),
+               contract_error);
+  EXPECT_THROW(static_cast<void>(build_topology(
+                   parse_topology_spec("layered:depht=9"))),  // typo
+               contract_error);
+  EXPECT_THROW(static_cast<void>(build_topology(
+                   parse_topology_spec("grid:rows=2.5"))),  // non-integer
+               contract_error);
+}
+
+}  // namespace
+}  // namespace rn::graph

@@ -10,15 +10,21 @@ The file kind is auto-detected. Tracked metrics:
 
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 1.25] [--min-ms 5]
+                     [--markdown PATH]
 
 Exit codes: 0 ok (or no comparable baseline), 1 regression, 2 bad input.
 Metrics only present on one side are reported but never fail the gate (new
 benchmarks appear, old ones are retired). Timings below --min-ms are ignored:
 at micro scale CI-runner noise swamps any real signal.
+
+A markdown comparison table is appended to --markdown PATH, defaulting to
+$GITHUB_STEP_SUMMARY when that is set — so the CI perf job surfaces the
+numbers on the run's summary page without artifact digging.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -48,6 +54,23 @@ def load_metrics(path):
     return metrics
 
 
+def write_markdown(path, title, rows, verdict_line):
+    """Appends a GitHub-flavored markdown comparison table to `path`."""
+    fmt = lambda v: f"{v:.2f}" if v is not None else "-"
+    with open(path, "a") as f:
+        f.write(f"### perf compare: {title}\n\n")
+        f.write("| metric | base ms | cur ms | verdict |\n")
+        f.write("|---|---:|---:|---|\n")
+        for name, b, c, verdict in rows:
+            cell = verdict
+            if verdict.startswith("REGRESSION"):
+                cell = f"**{verdict}** :red_circle:"
+            elif verdict.startswith("improved"):
+                cell = f"{verdict} :green_circle:"
+            f.write(f"| `{name}` | {fmt(b)} | {fmt(c)} | {cell} |\n")
+        f.write(f"\n{verdict_line}\n\n")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -58,6 +81,9 @@ def main():
                     help="ignore suite metrics faster than this in the baseline")
     ap.add_argument("--min-micro-ms", type=float, default=0.01,
                     help="ignore micro (per-iteration) metrics faster than this")
+    ap.add_argument("--markdown", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="append a markdown comparison table to this file "
+                         "(default: $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline)
@@ -90,11 +116,20 @@ def main():
         print(f"{name:<{width}}  {fmt_ms(b)}  {fmt_ms(c)}  {verdict}")
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
-              f"x{args.threshold}: {', '.join(regressions)}")
-        return 1
-    print(f"\nOK: no tracked metric regressed beyond x{args.threshold}")
-    return 0
+        verdict_line = (f"FAIL: {len(regressions)} metric(s) regressed beyond "
+                        f"x{args.threshold}: {', '.join(regressions)}")
+    else:
+        verdict_line = f"OK: no tracked metric regressed beyond x{args.threshold}"
+
+    if args.markdown:
+        try:
+            write_markdown(args.markdown, args.current, rows, verdict_line)
+        except OSError as e:
+            print(f"bench_compare: cannot write markdown summary: {e}",
+                  file=sys.stderr)
+
+    print(f"\n{verdict_line}")
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":
