@@ -1,6 +1,7 @@
 // M1 — micro-benchmarks (google-benchmark): simulator and coding throughput.
 #include <benchmark/benchmark.h>
 
+#include "baseline/decay.h"
 #include "coding/gf2.h"
 #include "common/rng.h"
 #include "core/gst_centralized.h"
@@ -26,6 +27,55 @@ static void BM_NetworkStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_NetworkStep)->Arg(64)->Arg(512)->Arg(4096);
+
+// The zero-allocation transmit path: a reusable round_buffer referencing
+// per-node flyweight packets, receptions statically dispatched. Same round
+// shape as BM_NetworkStep minus the per-round packet copies, shared_ptr
+// churn and std::function hop — the gap between the two is the adapter tax.
+static void BM_StepNoAlloc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
+  radio::network net(g, {.collision_detection = true});
+  rng r(1);
+  std::vector<radio::packet> beacons;
+  beacons.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    beacons.push_back(radio::packet::make_beacon(v));
+  radio::round_buffer txs;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    txs.clear();
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(3)) txs.add(v, beacons[v]);
+    net.step(txs, [&](const radio::reception& rx) { sink += rx.listener; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StepNoAlloc)->Arg(64)->Arg(512)->Arg(4096);
+
+// Per-round cost of the Decay baseline on its batched coin calendar
+// (counter-based blocks + next-transmit sampling; baseline/decay.h). Tracks
+// the e10 Decay column's hot loop; items = simulated protocol rounds.
+static void BM_DecayRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
+  std::uint64_t seed = 1;
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    baseline::decay_options opt;
+    opt.seed = ++seed;
+    opt.fast_forward = true;
+    const auto res = baseline::run_decay_broadcast(g, 0, opt);
+    rounds += res.rounds_executed;
+    benchmark::DoNotOptimize(res.transmissions);
+  }
+  state.SetItemsProcessed(rounds);
+  state.counters["rounds_per_run"] =
+      static_cast<double>(rounds) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_DecayRound)->Arg(512)->Arg(4096)->Unit(benchmark::kMicrosecond);
 
 // Fast-forwarding idle rounds must stay O(1) per call regardless of graph
 // size — this tracks the advance() hot path (and would catch any accidental

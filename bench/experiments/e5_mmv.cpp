@@ -63,6 +63,7 @@ void register_e5(sim::registry& reg) {
           baseline::leveled_decay_options opt;
           opt.seed = r();
           opt.mmv_noise = v.noise;
+          opt.fast_forward = sim::use_fast_forward();
           res = baseline::run_leveled_decay_broadcast(
               g, 0, graph::bfs(g, 0).level, opt);
         } else {

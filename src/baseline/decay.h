@@ -12,6 +12,20 @@
 //                short phases of length ~log(n/D) interleaved with occasional
 //                full-length phases; realizes O(D log(n/D) + log^2 n) on
 //                layered workloads.
+//
+// Coin contract (rn-bench-v2): by default every variant draws its 2^-i coins
+// from a *batched counter-based stream* — node v's coin bits come from the
+// 64-bit blocks `counter_word(seed, v, k)`, consumed i bits per scheduled
+// round — and each node's next transmit round is computed directly from
+// those bits, so the runner keeps a calendar of upcoming transmissions
+// instead of flipping a coin per informed node per round. Rounds with no
+// scheduled transmitter are provably idle; with `fast_forward` they collapse
+// into one O(1) `network::advance`, without it they are stepped one by one.
+// The two modes are bit-identical by construction (`--no-fast-forward` is the
+// cross-check). `draw_mode::per_round` keeps the historical per-node xoshiro
+// streams (one draw per informed node per scheduled round) as the
+// distributional oracle for the batched contract — same completion-round
+// law, different draw order (tests/test_broadcast.cpp compares quantiles).
 #pragma once
 
 #include <cstdint>
@@ -22,12 +36,20 @@
 
 namespace rn::baseline {
 
+/// How the Decay coins are drawn; see the header comment.
+enum class draw_mode : std::uint8_t {
+  batched,    ///< counter-based 64-bit blocks, next-transmit rounds computed directly
+  per_round,  ///< historical per-node xoshiro stream, one draw per scheduled round
+};
+
 struct decay_options {
   std::size_t n_hat = 0;       ///< known upper bound on n; 0 = use n
   round_t max_rounds = 0;      ///< 0 = generous default from n_hat & graph
   std::uint64_t seed = 1;
   bool collision_detection = false;  ///< Decay does not use CD; modeled anyway
   bool stop_when_complete = true;    ///< stop the simulation at completion
+  bool fast_forward = false;  ///< skip transmitter-free rounds (bit-identical)
+  draw_mode draws = draw_mode::batched;
 };
 
 /// Classic BGI Decay single-message broadcast from `source`.
@@ -40,6 +62,8 @@ struct leveled_decay_options {
   std::uint64_t seed = 1;
   bool mmv_noise = false;  ///< Definition 3.1: prompted uninformed nodes jam
   bool stop_when_complete = true;
+  bool fast_forward = false;
+  draw_mode draws = draw_mode::batched;
 };
 
 /// Lemma 3.2 leveled Decay. `levels` must hold the BFS level of every node
@@ -54,6 +78,8 @@ struct tuned_decay_options {
   round_t max_rounds = 0;
   std::uint64_t seed = 1;
   bool stop_when_complete = true;
+  bool fast_forward = false;
+  draw_mode draws = draw_mode::batched;
 };
 
 /// Czumaj-Rytter-style tuned Decay [DEV-4].

@@ -41,20 +41,19 @@ radio::broadcast_result run_sequential_decay_multi(const graph::graph& g,
   for (node_id v = 0; v < n; ++v)
     node_rng.push_back(rng::for_stream(opt.seed, v));
 
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   std::size_t current = 0;  // message being broadcast
   std::size_t current_remaining = n - 1;
   std::vector<char> informed(n, 0);
   informed[source] = 1;
-  auto body = make_body(0);
+  // One flyweight packet per in-flight message; rebuilt only on msg switch.
+  radio::packet pkt = radio::packet::make_data(0, make_body(0));
 
   for (round_t t = 0; t < max_rounds && current < opt.k; ++t) {
     const int i = static_cast<int>(t % L) + 1;
     txs.clear();
     for (node_id v = 0; v < n; ++v) {
-      if (informed[v] && node_rng[v].with_probability_pow2(i))
-        txs.push_back(
-            {v, radio::packet::make_data(static_cast<node_id>(current), body)});
+      if (informed[v] && node_rng[v].with_probability_pow2(i)) txs.add(v, pkt);
     }
     net.step(txs, [&](const radio::reception& rx) {
       if (rx.what == radio::observation::message &&
@@ -72,7 +71,9 @@ radio::broadcast_result run_sequential_decay_multi(const graph::graph& g,
         informed.assign(n, 0);
         informed[source] = 1;
         current_remaining = n - 1;
-        body = make_body(static_cast<std::uint32_t>(current));
+        pkt = radio::packet::make_data(
+            static_cast<node_id>(current),
+            make_body(static_cast<std::uint32_t>(current)));
       }
     }
     tracker.observe_round(net.stats().rounds);
@@ -118,11 +119,14 @@ radio::broadcast_result run_routing_multi(const graph::graph& g,
   for (node_id v = 0; v < n; ++v)
     node_rng.push_back(rng::for_stream(opt.seed, v));
 
-  std::vector<std::shared_ptr<const radio::packet_body>> bodies(opt.k);
+  // One flyweight packet per message, referenced by every forwarder.
+  std::vector<radio::packet> pkts;
+  pkts.reserve(opt.k);
   for (std::size_t m = 0; m < opt.k; ++m)
-    bodies[m] = make_body(static_cast<std::uint32_t>(m));
+    pkts.push_back(radio::packet::make_data(
+        static_cast<node_id>(m), make_body(static_cast<std::uint32_t>(m))));
 
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   for (round_t t = 0; t < max_rounds; ++t) {
     const int i = static_cast<int>(t % L) + 1;
     txs.clear();
@@ -132,7 +136,7 @@ radio::broadcast_result run_routing_multi(const graph::graph& g,
       // Forward a uniformly random held message (routing, no coding).
       const node_id m =
           have_list[v][node_rng[v].uniform(have_list[v].size())];
-      txs.push_back({v, radio::packet::make_data(m, bodies[m])});
+      txs.add(v, pkts[m]);
     }
     net.step(txs, [&](const radio::reception& rx) {
       if (rx.what != radio::observation::message ||

@@ -15,6 +15,13 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+/// splitmix64's finalizer (a strong 64-bit mixer), without the chain state.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 }  // namespace
 
 rng::rng(std::uint64_t seed) {
@@ -60,6 +67,15 @@ bool rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform01() < p;
+}
+
+std::uint64_t counter_word(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t k) {
+  // Mix (seed, stream) first so nearby streams land far apart, then fold the
+  // block counter in through a second full finalizer round.
+  const std::uint64_t s =
+      mix64(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
+  return mix64(s ^ (0xd1342543de82ef95ULL * (k + 1)));
 }
 
 bool rng::with_probability_pow2(int e) {

@@ -40,4 +40,14 @@ class rng {
   std::uint64_t s_[4];
 };
 
+/// Stateless counter-based stream: the k-th 64-bit block of the (seed,
+/// stream) coin sequence. Unlike `rng`, there is no per-stream state to
+/// store or advance — any block is addressable directly, which is what the
+/// batched-coin protocol fast paths need (one `std::uint32_t` cursor per
+/// node instead of a 32-byte engine). Blocks are statistically independent
+/// across all three coordinates (two rounds of splitmix64-style finalizing).
+[[nodiscard]] std::uint64_t counter_word(std::uint64_t seed,
+                                         std::uint64_t stream,
+                                         std::uint64_t k);
+
 }  // namespace rn

@@ -62,6 +62,7 @@ protocol_registry::protocol_registry() {
          baseline::decay_options o;
          o.n_hat = opt.n_hat;
          o.seed = opt.seed;
+         o.fast_forward = opt.fast_forward;
          return of_single(baseline::run_decay_broadcast(g, w.source, o));
        }});
   add({"tuned-decay", "Czumaj-Rytter-style tuned Decay baseline", false,
@@ -70,6 +71,7 @@ protocol_registry::protocol_registry() {
          o.n_hat = opt.n_hat;
          o.d_hat = opt.d_hat;
          o.seed = opt.seed;
+         o.fast_forward = opt.fast_forward;
          return of_single(baseline::run_tuned_decay_broadcast(g, w.source, o));
        }});
   add({"gst-known", "known topology, GST schedule (O(D + log^2 n))", false,
@@ -123,42 +125,6 @@ broadcast_outcome run_broadcast(const graph::graph& g,
              "protocol '" + e->id + "' is single-message (got messages = " +
                  std::to_string(w.messages) + ")");
   return e->run(g, w, opt);
-}
-
-std::string to_string(single_algorithm a) {
-  switch (a) {
-    case single_algorithm::decay: return "decay";
-    case single_algorithm::tuned_decay: return "tuned-decay";
-    case single_algorithm::gst_known: return "gst-known";
-    case single_algorithm::gst_unknown_cd: return "gst-unknown-cd";
-  }
-  return "?";
-}
-
-std::string to_string(multi_algorithm a) {
-  switch (a) {
-    case multi_algorithm::sequential_decay: return "seq-decay";
-    case multi_algorithm::routing: return "routing";
-    case multi_algorithm::rlnc_known: return "rlnc-known";
-    case multi_algorithm::rlnc_unknown_cd: return "rlnc-unknown-cd";
-  }
-  return "?";
-}
-
-radio::broadcast_result run_single(const graph::graph& g, node_id source,
-                                   single_algorithm alg,
-                                   const run_options& opt) {
-  return run_broadcast(g, to_string(alg), {source, 1}, opt).base;
-}
-
-radio::broadcast_result run_multi(const graph::graph& g, node_id source,
-                                  std::size_t k, multi_algorithm alg,
-                                  const run_options& opt) {
-  auto out = run_broadcast(g, to_string(alg), {source, k}, opt);
-  // Historical contract: the enum API folds the payload check into
-  // completion instead of reporting it separately.
-  out.base.completed = out.base.completed && out.payloads_verified;
-  return out.base;
 }
 
 }  // namespace rn::core

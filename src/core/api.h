@@ -5,8 +5,8 @@
 // Protocols are data: every algorithm family member (baselines and the
 // paper's Theorem 1.1/1.2/1.3 pipelines) registers under a stable id, so
 // workloads can name algorithms in JSON/CLI instead of compiling against an
-// enum. The pre-registry enum API (`single_algorithm` / `multi_algorithm`,
-// `run_single` / `run_multi`) survives one more PR as deprecated shims.
+// enum. (The pre-registry enum API was deleted after its one-PR deprecation
+// window.)
 #pragma once
 
 #include <cstdint>
@@ -37,9 +37,10 @@ struct run_options {
   /// Seed for the generated test payloads of the RLNC protocols
   /// (0 = derive from `seed`, the historical behavior).
   std::uint64_t message_seed = 0;
-  /// Fast-forward transmitter-free rounds in the GST-based algorithms
-  /// (bit-identical results; ignored by the Decay baselines, which schedule
-  /// a coin flip for every informed node every round).
+  /// Fast-forward transmitter-free rounds (bit-identical results). The
+  /// GST-based algorithms skip proven-idle schedule rounds; the Decay
+  /// baselines compute next-transmit rounds from their batched coin streams
+  /// and skip the calendar gaps (see baseline/decay.h).
   bool fast_forward = false;
 };
 
@@ -89,40 +90,5 @@ class protocol_registry {
                                               std::string_view protocol,
                                               const broadcast_workload& w,
                                               const run_options& opt);
-
-// --- deprecated enum shims (kept for exactly one PR) -------------------------
-
-enum class single_algorithm {
-  decay,          ///< BGI Decay (baseline)
-  tuned_decay,    ///< Czumaj-Rytter-style stand-in (baseline)
-  gst_known,      ///< known topology, GST schedule (O(D + log^2 n))
-  gst_unknown_cd, ///< Theorem 1.1 (O(D + log^6 n))
-};
-
-enum class multi_algorithm {
-  sequential_decay,  ///< one Decay broadcast per message (baseline)
-  routing,           ///< store-and-forward random forwarding (baseline)
-  rlnc_known,        ///< Theorem 1.2
-  rlnc_unknown_cd,   ///< Theorem 1.3
-};
-
-/// Maps an enum to its registry id ("decay", ..., "rlnc-unknown-cd").
-[[nodiscard]] std::string to_string(single_algorithm a);
-[[nodiscard]] std::string to_string(multi_algorithm a);
-
-/// Runs a single-message broadcast with the chosen algorithm.
-[[deprecated("use run_broadcast(g, to_string(alg), {source}, opt)")]]
-[[nodiscard]] radio::broadcast_result run_single(const graph::graph& g,
-                                                 node_id source,
-                                                 single_algorithm alg,
-                                                 const run_options& opt);
-
-/// Runs a k-message broadcast with the chosen algorithm. Completion includes
-/// the payload check for the coding algorithms (historical folding).
-[[deprecated("use run_broadcast(g, to_string(alg), {source, k}, opt)")]]
-[[nodiscard]] radio::broadcast_result run_multi(const graph::graph& g,
-                                                node_id source, std::size_t k,
-                                                multi_algorithm alg,
-                                                const run_options& opt);
 
 }  // namespace rn::core

@@ -313,7 +313,7 @@ void assignment_problem::finish_problem() {
   enter(sub_phase::done);
 }
 
-void assignment_problem::plan(std::vector<radio::network::tx>& out) {
+void assignment_problem::plan(radio::round_buffer& out) {
   if (finished()) return;
   auto& st = *cfg_.st;
   switch (sub_) {
@@ -322,7 +322,7 @@ void assignment_problem::plan(std::vector<radio::network::tx>& out) {
       const int e = static_cast<int>(phase_pos_ % (cfg_.L + 1));
       for (node_id u : blues_) {
         if (node_rng(u).with_probability_pow2(e))
-          out.push_back({u, radio::packet::make_beacon(u)});
+          out.add_owned(u, radio::packet::make_beacon(u));
       }
       break;
     }
@@ -330,7 +330,7 @@ void assignment_problem::plan(std::vector<radio::network::tx>& out) {
       if (phase_pos_ == 0) start_epoch();
       for (node_id v : red_candidates_)
         if (red_active_[v])
-          out.push_back({v, radio::packet::make_beacon(v)});
+          out.add_owned(v, radio::packet::make_beacon(v));
       break;
     }
     case sub_phase::s1_decay: {
@@ -338,7 +338,7 @@ void assignment_problem::plan(std::vector<radio::network::tx>& out) {
       for (node_id u : blues_) {
         if (blue_is_loner_[u] && !st.assigned[u] &&
             node_rng(u).with_probability_pow2(e))
-          out.push_back({u, radio::packet::make_beacon(u)});
+          out.add_owned(u, radio::packet::make_beacon(u));
       }
       break;
     }
@@ -351,7 +351,7 @@ void assignment_problem::plan(std::vector<radio::network::tx>& out) {
       const int e = static_cast<int>(phase_pos_ % (cfg_.L + 1));
       for (const auto& [v, rk] : announcers_) {
         if (node_rng(v).with_probability_pow2(e))
-          out.push_back({v, radio::packet::make_rank(v, rk)});
+          out.add_owned(v, radio::packet::make_rank(v, rk));
       }
       break;
     }
@@ -543,7 +543,7 @@ assignment_run_result run_assignment(const graph::graph& g,
   assignment_problem prob(std::move(cfg));
 
   radio::network net(g, {.collision_detection = false});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   while (!prob.finished()) {
     if (fast_forward) {
       const round_t q = prob.quiet_rounds();

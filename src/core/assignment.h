@@ -86,7 +86,7 @@ class assignment_problem {
                                                int recruit_iterations);
   [[nodiscard]] bool finished() const { return sub_ == sub_phase::done; }
 
-  void plan(std::vector<radio::network::tx>& out);
+  void plan(radio::round_buffer& out);
   void on_reception(const radio::reception& rx);
   void end_round();
 

@@ -13,7 +13,7 @@ diameter_estimate estimate_eccentricity_beep_waves(const graph::graph& g,
   RN_REQUIRE(source < n, "source out of range");
 
   radio::network net(g, {.collision_detection = true});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
 
   diameter_estimate out;
   for (level_t t = 1;; t *= 2) {
@@ -25,7 +25,7 @@ diameter_estimate estimate_eccentricity_beep_waves(const graph::graph& g,
     std::vector<node_id> joined;
     for (level_t r = 1; r <= t; ++r) {
       txs.clear();
-      for (node_id v : wave) txs.push_back({v, radio::packet::make_beacon(v)});
+      for (node_id v : wave) txs.add_owned(v, radio::packet::make_beacon(v));
       joined.clear();
       net.step(txs, [&](const radio::reception& rx) {
         if (arrival[rx.listener] == no_level) {
@@ -38,7 +38,7 @@ diameter_estimate estimate_eccentricity_beep_waves(const graph::graph& g,
 
     // One quiet separator round.
     txs.clear();
-    net.step(txs, nullptr);
+    net.step(txs, [](const radio::reception&) {});
 
     // Echo window: frontier nodes (arrival exactly t) flood back for t+1
     // rounds; everyone that hears anything joins the echo.
@@ -53,7 +53,7 @@ diameter_estimate estimate_eccentricity_beep_waves(const graph::graph& g,
     bool source_heard = false;
     for (level_t r = 0; r <= t; ++r) {
       txs.clear();
-      for (node_id v : echo_set) txs.push_back({v, radio::packet::make_beacon(v)});
+      for (node_id v : echo_set) txs.add_owned(v, radio::packet::make_beacon(v));
       joined.clear();
       net.step(txs, [&](const radio::reception& rx) {
         if (rx.listener == source) source_heard = true;

@@ -20,11 +20,11 @@ layering_result run_collision_wave_bfs(const graph::graph& g, node_id source,
 
   std::vector<node_id> wave{source};  // nodes transmitting from now on
   std::vector<node_id> joined;
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   for (level_t r = 1; r <= d_hat; ++r) {
     txs.clear();
     for (node_id v : wave)
-      txs.push_back({v, radio::packet::make_beacon(v)});
+      txs.add_owned(v, radio::packet::make_beacon(v));
     joined.clear();
     net.step(txs, [&](const radio::reception& rx) {
       // Message or collision both mean "the wave arrived".
@@ -61,7 +61,7 @@ layering_result run_decay_epoch_bfs(const graph::graph& g, node_id source,
 
   std::vector<node_id> informed{source};
   std::vector<node_id> fresh;
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   for (level_t epoch = 1; epoch <= d_hat; ++epoch) {
     fresh.clear();
     for (int ph = 0; ph < phases; ++ph) {
@@ -69,7 +69,7 @@ layering_result run_decay_epoch_bfs(const graph::graph& g, node_id source,
         txs.clear();
         for (node_id v : informed) {
           if (node_rng[v].with_probability_pow2(e))
-            txs.push_back({v, radio::packet::make_beacon(v)});
+            txs.add_owned(v, radio::packet::make_beacon(v));
         }
         net.step(txs, [&](const radio::reception& rx) {
           if (rx.what == radio::observation::message &&

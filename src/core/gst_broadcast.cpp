@@ -70,7 +70,11 @@ radio::broadcast_result run_gst_single_broadcast(
 
   auto body = std::make_shared<radio::packet_body>();
   body->data = {0x6d, 0x73, 0x67};
-  std::vector<radio::network::tx> txs;
+  // Flyweights: one data and one noise packet for the whole run; every
+  // transmission references them (zero allocation, zero refcount churn).
+  const radio::packet data_pkt = radio::packet::make_data(0, body);
+  const radio::packet noise_pkt = radio::packet::make_noise();
+  radio::round_buffer txs;
 
   // Bucketed planning: per round only the nodes whose schedule (and coin)
   // that round consults are visited — observably identical to the full scan.
@@ -95,9 +99,9 @@ radio::broadcast_result run_gst_single_broadcast(
         if (sched.query(v, r, node_rng[v]) == gst_schedule::action::none)
           continue;
         if (informed[v])
-          txs.push_back({v, radio::packet::make_data(0, body)});
+          txs.add(v, data_pkt);
         else
-          txs.push_back({v, radio::packet::make_noise()});
+          txs.add(v, noise_pkt);
       }
     } else {
       for (node_id v : idx.slow_bucket(r)) {
@@ -106,9 +110,9 @@ radio::broadcast_result run_gst_single_broadcast(
         if (sched.query(v, r, node_rng[v]) == gst_schedule::action::none)
           continue;
         if (informed[v])
-          txs.push_back({v, radio::packet::make_data(0, body)});
+          txs.add(v, data_pkt);
         else if (opt.mmv_noise)
-          txs.push_back({v, radio::packet::make_noise()});
+          txs.add(v, noise_pkt);
       }
     }
     if (sink.commit(txs, on_rx, completing)) {
@@ -177,7 +181,7 @@ radio::broadcast_result run_gst_rlnc_broadcast(
     return radio::packet::make_coded(0, std::move(body));
   };
 
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   const gst_schedule_index idx(sched, all_nodes(n));
   round_sink sink(net, opt.fast_forward);
   const auto on_rx = [&](const radio::reception& rx) {
@@ -196,11 +200,11 @@ radio::broadcast_result run_gst_rlnc_broadcast(
   auto plan = [&](node_id v, gst_schedule::action a) {
     if (a == gst_schedule::action::fast && !d.is_stretch_head[v]) {
       // Relay role: forward the predecessor's packet verbatim.
-      if (relay[v]) txs.push_back({v, radio::packet::make_coded(0, relay[v])});
+      if (relay[v]) txs.add_owned(v, radio::packet::make_coded(0, relay[v]));
       return;
     }
     // Stretch heads (fast) and all slow prompts send fresh combinations.
-    if (buf[v].has_anything()) txs.push_back({v, fresh_packet(v)});
+    if (buf[v].has_anything()) txs.add_owned(v, fresh_packet(v));
   };
 
   for (round_t r = 0; r < max_rounds; ++r) {

@@ -1,6 +1,7 @@
 #include "core/gst_centralized.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "common/check.h"
 #include "common/math.h"
@@ -40,6 +41,26 @@ gst build_gst_centralized_multi(const graph::graph& g,
       static_cast<rank_t>(ceil_log2(member_count < 2 ? 2 : member_count)) + 1;
 
   std::vector<char> assigned(n, 0);
+  // Scratch for the greedy adoption below, hoisted out of the level/rank
+  // loops. `in_u` self-clears: every entry set for a u_set is zeroed by the
+  // time steps 1+2 assigned all of U.
+  std::vector<char> in_u(n, 0);
+  std::vector<node_id> u_set;
+  std::vector<node_id> candidates;
+  std::vector<char> is_candidate(n, 0);
+  // Max-heap entry for the greedy choice: highest adoptable-blue count
+  // first, smallest node id on ties — exactly the argmax the quadratic
+  // rescan formulation selected.
+  struct red_entry {
+    std::size_t count;
+    node_id red;
+    bool operator<(const red_entry& o) const {
+      if (count != o.count) return count < o.count;
+      return red > o.red;
+    }
+  };
+  std::priority_queue<red_entry> heap;
+
   // Process level pairs bottom-up; blues at the current level already carry
   // final ranks (set while they were reds one pair earlier, or rank 1 if
   // childless / deepest).
@@ -50,41 +71,54 @@ gst build_gst_centralized_multi(const graph::graph& g,
 
     for (rank_t i = max_rank; i >= 1; --i) {
       // U = unassigned blues of rank i.
-      std::vector<node_id> u_set;
+      u_set.clear();
       for (node_id u : blues)
         if (!assigned[u] && t.rank[u] == i) u_set.push_back(u);
       if (u_set.empty()) continue;
-      std::vector<char> in_u(n, 0);
       for (node_id u : u_set) in_u[u] = 1;
 
-      // Step 1: greedily rank reds that can adopt >= 2 rank-i blues.
-      for (;;) {
-        node_id best_red = no_node;
-        std::size_t best_count = 1;  // need >= 2
-        for (node_id u : u_set) {
-          if (!in_u[u]) continue;
-          for (node_id v : g.neighbors(u)) {
-            if (!t.member[v] || t.level[v] != l - 1 || t.rank[v] != no_rank)
-              continue;
-            std::size_t count = 0;
-            for (node_id w : g.neighbors(v)) count += in_u[w] ? 1 : 0;
-            if (count > best_count ||
-                (count == best_count && count >= 2 &&
-                 (best_red == no_node || v < best_red))) {
-              best_count = count;
-              best_red = v;
-            }
+      // Step 1: greedily rank reds that can adopt >= 2 rank-i blues. Counts
+      // only decrease as blues are adopted, so a lazy max-heap yields the
+      // same (count, id)-argmax sequence as rescanning every candidate per
+      // adoption, in near-linear time.
+      auto live_count = [&](node_id v) {
+        std::size_t count = 0;
+        for (node_id w : g.neighbors(v)) count += in_u[w] ? 1 : 0;
+        return count;
+      };
+      candidates.clear();
+      for (node_id u : u_set) {
+        for (node_id v : g.neighbors(u)) {
+          if (!t.member[v] || t.level[v] != l - 1 || t.rank[v] != no_rank)
+            continue;
+          if (!is_candidate[v]) {
+            is_candidate[v] = 1;
+            candidates.push_back(v);
           }
         }
-        if (best_red == no_node) break;
-        for (node_id w : g.neighbors(best_red)) {
+      }
+      for (node_id v : candidates) {
+        is_candidate[v] = 0;  // reset scratch for the next rank iteration
+        const std::size_t count = live_count(v);
+        if (count >= 2) heap.push({count, v});
+      }
+      while (!heap.empty()) {
+        const auto [count, v] = heap.top();
+        heap.pop();
+        if (t.rank[v] != no_rank) continue;  // stale duplicate
+        const std::size_t current = live_count(v);
+        if (current != count) {
+          if (current >= 2) heap.push({current, v});
+          continue;
+        }
+        for (node_id w : g.neighbors(v)) {
           if (in_u[w]) {
-            t.parent[w] = best_red;
+            t.parent[w] = v;
             assigned[w] = 1;
             in_u[w] = 0;
           }
         }
-        t.rank[best_red] = i + 1;
+        t.rank[v] = i + 1;
       }
 
       // Step 2: every unranked red now has <= 1 neighbor left in U, so

@@ -83,7 +83,7 @@ distributed_gst_outcome build_gst_distributed(
             });
 
   radio::network net(g, {.collision_detection = false});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   // Problems active in the current slot, keyed for reception dispatch.
   struct active_problem {
     problem_slot meta;
@@ -171,7 +171,7 @@ distributed_gst_outcome build_gst_distributed(
       }
       if (!any && txs.empty()) {
         // No problem consumes this round; still burn it for faithful timing.
-        net.step(txs, nullptr);
+        net.step(txs, [](const radio::reception&) {});
         ++r;
         continue;
       }

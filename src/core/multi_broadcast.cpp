@@ -169,7 +169,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
     }
   };
 
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   core::round_sink sink(net, opt.fast_forward);
   const std::size_t super_epochs = ring_count + B;  // one slack epoch
   round_t pipeline_rounds = 0;
@@ -191,12 +191,12 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
           if (a == gst_schedule::action::none) continue;
           if (a == gst_schedule::action::fast && !der.is_stretch_head[v]) {
             if (relay[v] && relay_batch[v] == b)
-              txs.push_back({v, radio::packet::make_coded(
-                                    static_cast<std::uint32_t>(b), relay[v])});
+              txs.add_owned(v, radio::packet::make_coded(
+                                   static_cast<std::uint32_t>(b), relay[v]));
             continue;
           }
           if (buf[v][b].has_anything())
-            txs.push_back({v, fresh_packet(v, b)});
+            txs.add_owned(v, fresh_packet(v, b));
         }
       }
       if (sink.commit(txs, on_rx)) tracker.observe_round(net.stats().rounds);
@@ -216,7 +216,7 @@ multi_broadcast_result run_unknown_cd_multi_broadcast(
             if (setup.rings.rel_level[v] != outer) continue;
             if (!buf[v][b].can_decode()) continue;
             if (node_rng[v].with_probability_pow2(ex))
-              txs.push_back({v, fresh_packet(v, b)});
+              txs.add_owned(v, fresh_packet(v, b));
           }
         }
         if (sink.commit(txs, on_rx)) tracker.observe_round(net.stats().rounds);

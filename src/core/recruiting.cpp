@@ -43,7 +43,7 @@ void recruiting_instance::start_iteration() {
   }
 }
 
-void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
+void recruiting_instance::plan(radio::round_buffer& out) {
   if (finished()) return;
   const int pos = pos_in_iteration();
   const int iter = iteration();
@@ -60,7 +60,7 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
       if (red_rng_[i].with_probability_pow2(e)) {
         red_[i].sent_r1 = true;
         ++sent_r1_count_;
-        out.push_back({cfg_.reds[i], radio::packet::make_beacon(cfg_.reds[i])});
+        out.add_owned(cfg_.reds[i], radio::packet::make_beacon(cfg_.reds[i]));
       }
     }
     return;
@@ -73,8 +73,8 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
       auto& b = blue_[i];
       if (b.recruited || b.heard_red == no_node) continue;
       if (blue_rng_[i].with_probability_pow2(e))
-        out.push_back({cfg_.blues[i],
-                       radio::packet::make_pair(cfg_.blues[i], b.heard_red)});
+        out.add_owned(cfg_.blues[i],
+                      radio::packet::make_pair(cfg_.blues[i], b.heard_red));
     }
     return;
   }
@@ -102,7 +102,7 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
       } else {  // many: growth is always consistent
         if (!r.heard.empty()) p = radio::packet::make_sigma(cfg_.reds[i]);
       }
-      out.push_back({cfg_.reds[i], p});
+      out.add_owned(cfg_.reds[i], p);
     }
     return;
   }
@@ -112,8 +112,8 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
     for (std::size_t i = 0; i < blue_.size(); ++i) {
       auto& b = blue_[i];
       if (b.ack_due)
-        out.push_back(
-            {cfg_.blues[i], radio::packet::make_ack(cfg_.blues[i], b.parent)});
+        out.add_owned(cfg_.blues[i],
+                      radio::packet::make_ack(cfg_.blues[i], b.parent));
     }
     return;
   }
@@ -128,7 +128,7 @@ void recruiting_instance::plan(std::vector<radio::network::tx>& out) {
       r.solo_child = no_node;
       p = radio::packet::make_sigma(cfg_.reds[i]);
     }
-    out.push_back({cfg_.reds[i], p});
+    out.add_owned(cfg_.reds[i], p);
   }
 }
 
@@ -265,7 +265,7 @@ recruiting_run_result run_recruiting(const graph::graph& g,
   recruiting_instance inst(std::move(cfg));
 
   radio::network net(g, {.collision_detection = false});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   while (!inst.finished()) {
     if (fast_forward) {
       const round_t q = inst.quiet_rounds();

@@ -63,7 +63,7 @@ class recruiting_instance {
   [[nodiscard]] bool finished() const { return round_ >= rounds_required(); }
 
   /// Appends this instance's transmissions for its next consumed round.
-  void plan(std::vector<radio::network::tx>& out);
+  void plan(radio::round_buffer& out);
   /// Delivers a reception to a participant (others are ignored).
   void on_reception(const radio::reception& rx);
   /// Advances the program counter; call exactly once per consumed round.

@@ -36,15 +36,16 @@ class round_sink {
   /// and the round is stepped. `force` steps even an empty round — used when
   /// the caller inspects state that naive stepping would only reach after
   /// executing the round (e.g. a stop-when-complete check). Returns true iff
-  /// the round was stepped.
-  bool commit(const std::vector<radio::network::tx>& txs,
-              const radio::network::rx_callback& on_rx, bool force = false) {
+  /// the round was stepped. `on_rx` is statically dispatched (any callable).
+  template <class OnRx>
+  bool commit(const radio::round_buffer& txs, OnRx&& on_rx,
+              bool force = false) {
     if (ff_ && !force && txs.empty()) {
       ++pending_;
       return false;
     }
     flush();
-    net_->step(txs, on_rx);
+    net_->step(txs, std::forward<OnRx>(on_rx));
     return true;
   }
 

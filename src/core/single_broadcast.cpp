@@ -113,8 +113,10 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
 
   auto body = std::make_shared<radio::packet_body>();
   body->data = {0x11, 0x22, 0x33};
+  // One flyweight data packet for the whole dissemination (zero-alloc rounds).
+  const radio::packet data_pkt = radio::packet::make_data(source, body);
   const int dp = opt.prm.decay_phases(n_hat);
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   auto deliver = [&](const radio::reception& rx) {
     if (rx.what == radio::observation::message &&
         rx.pkt->kind == radio::packet_kind::data && !informed[rx.listener]) {
@@ -146,14 +148,14 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
         for (node_id v : idx.fast_bucket(r)) {
           if (informed[v] &&
               sched.query(v, r, node_rng[v]) != gst_schedule::action::none)
-            txs.push_back({v, radio::packet::make_data(source, body)});
+            txs.add(v, data_pkt);
         }
       } else {
         for (node_id v : idx.slow_bucket(r)) {
           // Coin flipped for uninformed members too, as in the naive scan.
           const auto a = sched.query(v, r, node_rng[v]);
           if (a != gst_schedule::action::none && informed[v])
-            txs.push_back({v, radio::packet::make_data(source, body)});
+            txs.add(v, data_pkt);
         }
       }
       if (sink.commit(txs, deliver))
@@ -183,7 +185,7 @@ radio::broadcast_result run_unknown_cd_single_broadcast(
             for (node_id v : members) {
               if (setup.rings.rel_level[v] == outer && informed[v] &&
                   node_rng[v].with_probability_pow2(e))
-                txs.push_back({v, radio::packet::make_data(source, body)});
+                txs.add(v, data_pkt);
             }
             if (sink.commit(txs, deliver))
               tracker.observe_round(net.stats().rounds);

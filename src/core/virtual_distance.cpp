@@ -60,7 +60,7 @@ vdist_labeling_result run_vdist_labeling(
   for (node_id v = 0; v < n; ++v)
     node_rng.push_back(rng::for_stream(seed, v));
 
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   auto rx_stretch = [&](const radio::reception& rx, level_t d) {
     // A stretch child adopts d+1 when it hears its own parent.
     const node_id u = rx.listener;
@@ -93,7 +93,7 @@ vdist_labeling_result run_vdist_labeling(
             const bool fire = sweep == 0
                                   ? (out.vdist[v] == d && is_head(v))
                                   : (out.vdist[v] == d + 1);
-            if (fire) txs.push_back({v, radio::packet::make_beacon(v)});
+            if (fire) txs.add_owned(v, radio::packet::make_beacon(v));
           }
           sink.commit(txs,
                       [&](const radio::reception& rx) { rx_stretch(rx, d); });
@@ -111,7 +111,7 @@ vdist_labeling_result run_vdist_labeling(
         txs.clear();
         for (node_id v : at_d) {
           if (node_rng[v].with_probability_pow2(e))
-            txs.push_back({v, radio::packet::make_beacon(v)});
+            txs.add_owned(v, radio::packet::make_beacon(v));
         }
         sink.commit(txs, [&](const radio::reception& rx) {
           const node_id u = rx.listener;

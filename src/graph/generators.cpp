@@ -9,6 +9,35 @@
 
 namespace rn::graph {
 
+namespace {
+
+/// Calls fn(j) for every index j in [0, m) that passes an independent
+/// Bernoulli(p) trial, using geometric skip-sampling: one uniform draw per
+/// *success* (plus one trailing miss) instead of one per index. At the
+/// sparse densities the scale sweeps use (p ~ 40/width) this makes G(n,p)
+/// style generation O(edges) instead of O(pairs); at n = 10^5+ that is the
+/// difference between milliseconds and seconds per trial.
+template <class Fn>
+void bernoulli_indices(rng& r, std::size_t m, double p, Fn&& fn) {
+  if (m == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (std::size_t j = 0; j < m; ++j) fn(j);
+    return;
+  }
+  const double log_q = std::log1p(-p);  // < 0
+  std::size_t j = 0;
+  for (;;) {
+    // Failures before the next success: floor(log(1-u) / log(1-p)).
+    const double skip = std::floor(std::log1p(-r.uniform01()) / log_q);
+    if (skip >= static_cast<double>(m - j)) return;
+    j += static_cast<std::size_t>(skip);
+    fn(j);
+    if (++j >= m) return;
+  }
+}
+
+}  // namespace
+
 graph path(std::size_t n) {
   RN_REQUIRE(n >= 1, "path needs >= 1 node");
   graph::builder b(n);
@@ -91,13 +120,14 @@ graph random_layered(const layered_options& opt) {
       const node_id v = layer_node(layer, i);
       // Guarantee one parent so BFS depth is exact.
       b.add_edge(v, layer_node(layer - 1, r.uniform(prev)));
-      for (std::size_t j = 0; j < prev; ++j)
-        if (r.bernoulli(opt.edge_prob))
-          b.add_edge(v, layer_node(layer - 1, j));
+      bernoulli_indices(r, prev, opt.edge_prob, [&](std::size_t j) {
+        b.add_edge(v, layer_node(layer - 1, j));
+      });
       if (opt.intra_prob > 0)
-        for (std::size_t j = i + 1; j < layer_size(layer); ++j)
-          if (r.bernoulli(opt.intra_prob))
-            b.add_edge(v, layer_node(layer, j));
+        bernoulli_indices(r, layer_size(layer) - i - 1, opt.intra_prob,
+                          [&](std::size_t j) {
+                            b.add_edge(v, layer_node(layer, i + 1 + j));
+                          });
     }
   }
   return std::move(b).build();
@@ -109,8 +139,9 @@ graph random_gnp_connected(std::size_t n, double p, std::uint64_t seed) {
     rng r(seed + attempt * 0x51ed2701ULL);
     graph::builder b(n);
     for (node_id i = 0; i < n; ++i)
-      for (node_id j = i + 1; j < n; ++j)
-        if (r.bernoulli(p)) b.add_edge(i, j);
+      bernoulli_indices(r, n - i - 1, p, [&](std::size_t j) {
+        b.add_edge(i, static_cast<node_id>(i + 1 + j));
+      });
     graph g = std::move(b).build();
     if (g.connected()) return g;
   }

@@ -31,8 +31,7 @@ network::network(const graph::graph& g, model m)
   for (node_id v = 0; v < node_count_; ++v)
     for (node_id u : g.neighbors(v)) adj_.push_back(u);
 
-  hit_count_.assign(node_count_, 0);
-  last_sender_.assign(node_count_, 0);
+  hit_state_.assign(node_count_, 0);
   is_transmitting_.assign(node_count_, 0);
   tx_count_.assign(node_count_, 0);
 }
@@ -49,7 +48,8 @@ engine_totals network::process_totals() {
 
 std::int64_t network::max_energy() const {
   std::int64_t best = 0;
-  for (std::int64_t e : tx_count_) best = std::max(best, e);
+  for (std::uint32_t e : tx_count_)
+    best = std::max(best, static_cast<std::int64_t>(e));
   return best;
 }
 
@@ -61,54 +61,13 @@ void network::advance(round_t idle_rounds) {
 
 void network::step(const std::vector<tx>& transmissions,
                    const rx_callback& on_rx) {
-  stats_.rounds += 1;
-  stats_.transmissions += static_cast<std::int64_t>(transmissions.size());
-
-  // Mark transmitters; a node transmitting twice in one round is a runner bug.
-  for (const auto& t : transmissions) {
-    RN_REQUIRE(t.from < node_count_, "transmitter out of range");
-    RN_REQUIRE(!is_transmitting_[t.from], "node transmitted twice in a round");
-    is_transmitting_[t.from] = 1;
-    tx_count_[t.from] += 1;
+  adapter_buf_.clear();
+  for (const auto& t : transmissions) adapter_buf_.add(t.from, t.pkt);
+  if (on_rx) {
+    step(adapter_buf_, [&](const reception& rx) { on_rx(rx); });
+  } else {
+    step(adapter_buf_, [](const reception&) {});
   }
-
-  // Tally transmitting neighbors of every potential listener: one contiguous
-  // CSR row walk per transmitter.
-  const node_id* adj = adj_.data();
-  for (std::uint32_t i = 0; i < transmissions.size(); ++i) {
-    const node_id u = transmissions[i].from;
-    const std::uint32_t begin = row_start_[u];
-    const std::uint32_t end = row_start_[u + 1];
-    for (std::uint32_t a = begin; a < end; ++a) {
-      const node_id v = adj[a];
-      if (hit_count_[v] == 0) touched_.push_back(v);
-      hit_count_[v] += 1;
-      last_sender_[v] = i;
-    }
-  }
-
-  // Resolve observations for listeners.
-  for (node_id v : touched_) {
-    if (!is_transmitting_[v]) {
-      if (hit_count_[v] == 1) {
-        if (model_.erasure_prob > 0.0 &&
-            erasure_rng_.bernoulli(model_.erasure_prob)) {
-          stats_.erasures += 1;  // decoding failed; observed as silence
-        } else {
-          const auto& t = transmissions[last_sender_[v]];
-          stats_.deliveries += 1;
-          if (on_rx) on_rx({v, observation::message, &t.pkt, t.from});
-        }
-      } else if (model_.collision_detection) {
-        stats_.collisions_observed += 1;
-        if (on_rx) on_rx({v, observation::collision, nullptr, no_node});
-      }
-      // Without CD, >=2 transmitters is indistinguishable from silence.
-    }
-    hit_count_[v] = 0;
-  }
-  touched_.clear();
-  for (const auto& t : transmissions) is_transmitting_[t.from] = 0;
 }
 
 }  // namespace rn::radio

@@ -15,12 +15,23 @@
 // advancing is observably identical to stepping with an empty transmitter
 // list, only cheaper. Protocol runners that know their next busy round use
 // `advance` to fast-forward; see README "Fast-forward execution".
+//
+// Transmit API: the hot path is `step(round_buffer, on_rx)` — a reusable
+// buffer of (node, packet reference) pairs over caller-owned packets, with
+// receptions delivered through a statically-dispatched callable. A protocol
+// that broadcasts one message keeps a single flyweight `packet` for its
+// whole run and references it from every transmission: no per-round packet
+// copies, no shared_ptr refcount churn, no std::function dispatch. The
+// legacy `step(std::vector<tx>, rx_callback)` overload survives one PR as a
+// thin adapter.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "graph/graph.h"
@@ -38,6 +49,49 @@ struct reception {
   observation what = observation::silence;
   const packet* pkt = nullptr;  ///< valid iff what == message
   node_id from = no_node;       ///< valid iff what == message
+};
+
+/// One planned transmission: the node and a reference to a packet that the
+/// planner keeps alive until the round is stepped.
+struct tx_ref {
+  node_id from;
+  const packet* pkt;
+};
+
+/// Reusable per-round transmit list. `add` references a caller-owned packet
+/// (the flyweight pattern: one shared message packet for a whole broadcast);
+/// `add_owned` copies a by-value packet into an internal arena whose slots
+/// are recycled across rounds (for planners that mint per-node packets, e.g.
+/// beacons). After the first few rounds a protocol's planning loop performs
+/// no allocation at all.
+class round_buffer {
+ public:
+  void clear() {
+    items_.clear();
+    arena_used_ = 0;
+  }
+  void add(node_id from, const packet& p) { items_.push_back({from, &p}); }
+  /// A temporary packet would dangle before step() reads it — use add_owned.
+  void add(node_id from, packet&& p) = delete;
+  void add_owned(node_id from, packet p) {
+    // std::deque keeps element addresses stable across push_back, so refs
+    // handed out earlier this round stay valid while the arena grows.
+    packet& slot =
+        arena_used_ < arena_.size() ? arena_[arena_used_] : arena_.emplace_back();
+    slot = std::move(p);
+    items_.push_back({from, &slot});
+    ++arena_used_;
+  }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const tx_ref& operator[](std::size_t i) const {
+    return items_[i];
+  }
+
+ private:
+  std::vector<tx_ref> items_;
+  std::deque<packet> arena_;
+  std::size_t arena_used_ = 0;
 };
 
 /// Static model configuration.
@@ -77,8 +131,9 @@ struct engine_totals {
 /// The adjacency is copied into a private CSR (compressed sparse row) layout
 /// with 32-bit offsets at construction: the per-round hot loop walks one
 /// contiguous row per transmitter and keeps per-listener state in flat
-/// arrays, with a per-round transmitter bitmap to separate talkers from
-/// listeners (bench_micro BM_NetworkStep tracks this path).
+/// 32-bit arrays, with a per-round transmitter bitmap to separate talkers
+/// from listeners (bench_micro BM_NetworkStep / BM_StepNoAlloc track this
+/// path).
 class network {
  public:
   network(const graph::graph& g, model m);
@@ -103,12 +158,15 @@ class network {
   [[nodiscard]] static engine_totals process_totals();
 
   /// Per-node transmission counts — the energy metric of radio networks.
-  [[nodiscard]] const std::vector<std::int64_t>& energy() const {
+  /// 32-bit on purpose: a node transmits at most once per round and no
+  /// simulation approaches 2^32 rounds, so the per-trial footprint stays
+  /// 4 bytes/node even at n = 10^6.
+  [[nodiscard]] const std::vector<std::uint32_t>& energy() const {
     return tx_count_;
   }
   [[nodiscard]] std::int64_t max_energy() const;
 
-  /// One transmission in the current round.
+  /// One transmission in the current round (legacy by-value form).
   struct tx {
     node_id from;
     packet pkt;
@@ -116,13 +174,75 @@ class network {
 
   using rx_callback = std::function<void(const reception&)>;
 
-  /// Executes one synchronous round: every node in `transmissions` transmits
-  /// its packet, everyone else listens. `on_rx` is invoked for every listener
+  /// Executes one synchronous round: every node in `txs` transmits its
+  /// packet, everyone else listens. `on_rx` is invoked for every listener
   /// that observes a message or (in the CD model) a collision. Listeners that
   /// observe silence get no callback (silence carries no information in the
   /// no-CD model, and in the CD model protocols in this library never act on
   /// it round-by-round; they act on its absence, which they infer from their
   /// own state).
+  template <class OnRx>
+  void step(const round_buffer& txs, OnRx&& on_rx) {
+    stats_.rounds += 1;
+    const std::size_t m = txs.size();
+    stats_.transmissions += static_cast<std::int64_t>(m);
+
+    // Mark transmitters; a node transmitting twice in one round is a runner
+    // bug.
+    for (std::size_t i = 0; i < m; ++i) {
+      const node_id u = txs[i].from;
+      RN_REQUIRE(u < node_count_, "transmitter out of range");
+      RN_REQUIRE(!is_transmitting_[u], "node transmitted twice in a round");
+      is_transmitting_[u] = 1;
+      tx_count_[u] += 1;
+    }
+
+    // Tally transmitting neighbors of every potential listener: one
+    // contiguous CSR row walk per transmitter. Per-listener state is one
+    // packed word — hit count in the high half, last sender index in the
+    // low half — so each neighbor visit touches a single cache line.
+    const node_id* adj = adj_.data();
+    std::uint64_t* hits = hit_state_.data();
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const node_id u = txs[i].from;
+      const std::uint32_t begin = row_start_[u];
+      const std::uint32_t end = row_start_[u + 1];
+      for (std::uint32_t a = begin; a < end; ++a) {
+        const node_id v = adj[a];
+        const std::uint64_t hs = hits[v];
+        if (hs == 0) touched_.push_back(v);
+        hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
+      }
+    }
+
+    // Resolve observations for listeners.
+    for (node_id v : touched_) {
+      const std::uint64_t hs = hits[v];
+      if (!is_transmitting_[v]) {
+        if ((hs >> 32) == 1) {
+          if (model_.erasure_prob > 0.0 &&
+              erasure_rng_.bernoulli(model_.erasure_prob)) {
+            stats_.erasures += 1;  // decoding failed; observed as silence
+          } else {
+            const tx_ref& t = txs[hs & 0xffffffffULL];
+            stats_.deliveries += 1;
+            on_rx(reception{v, observation::message, t.pkt, t.from});
+          }
+        } else if (model_.collision_detection) {
+          stats_.collisions_observed += 1;
+          on_rx(reception{v, observation::collision, nullptr, no_node});
+        }
+        // Without CD, >=2 transmitters is indistinguishable from silence.
+      }
+      hits[v] = 0;
+    }
+    touched_.clear();
+    for (std::size_t i = 0; i < m; ++i) is_transmitting_[txs[i].from] = 0;
+  }
+
+  /// Legacy round execution over by-value transmissions, dispatching through
+  /// std::function. Thin adapter over the round_buffer path; kept for
+  /// exactly one PR.
   void step(const std::vector<tx>& transmissions, const rx_callback& on_rx);
 
   /// Fast-forwards `idle_rounds` rounds in which no node transmits, in O(1).
@@ -141,11 +261,13 @@ class network {
   // CSR adjacency (32-bit offsets; row i spans adj_[row_start_[i] .. row_start_[i+1])).
   std::vector<std::uint32_t> row_start_;
   std::vector<node_id> adj_;
-  std::vector<std::int64_t> tx_count_;
-  std::vector<std::uint32_t> hit_count_;   // transmitting-neighbor count
-  std::vector<std::uint32_t> last_sender_; // index into transmissions
+  std::vector<std::uint32_t> tx_count_;
+  // Packed per-listener round state: transmitting-neighbor count in the
+  // high 32 bits, index of the last transmitter heard in the low 32.
+  std::vector<std::uint64_t> hit_state_;
   std::vector<char> is_transmitting_;      // per-round transmitter bitmap
   std::vector<node_id> touched_;
+  round_buffer adapter_buf_;  // scratch for the legacy step overload
 };
 
 }  // namespace rn::radio

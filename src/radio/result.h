@@ -25,8 +25,9 @@ struct broadcast_result {
   std::vector<std::pair<const char*, round_t>> phase_rounds;
   /// Per-node transmission counts of the dissemination network (empty if the
   /// runner does not report them). The fast-forward equivalence tests compare
-  /// these vectors element-wise between execution modes.
-  std::vector<std::int64_t> energy;
+  /// these vectors element-wise between execution modes. 32-bit to match the
+  /// engine's per-trial-slim energy counters.
+  std::vector<std::uint32_t> energy;
 };
 
 /// Tracks when every tracked node has reached its goal (e.g. "has the

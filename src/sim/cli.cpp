@@ -113,7 +113,6 @@ experiment make_adhoc_experiment(const cli_options& opt) {
   e.claim = "(user-defined workload; no registered paper claim)";
   e.profile = "fast";
   e.default_trials = 8;
-  e.record_topology = true;
   e.make_scenarios = [base, protocol_ids, sweep_param, sweep_values,
                       messages = opt.messages] {
     std::vector<scenario> out;
@@ -345,6 +344,8 @@ int run_suite(int argc, char** argv) {
           resolve_threads(cfg.threads, result.scenarios.size() * cfg.trials));
       row["stepped_rounds"] = after.stepped_rounds - before.stepped_rounds;
       row["skipped_rounds"] = after.skipped_rounds - before.skipped_rounds;
+      // Monotone high-water mark up to and including this experiment.
+      row["peak_rss_kb"] = peak_rss_kb();
       timing_rows.push_back(std::move(row));
     }
   }
@@ -360,13 +361,14 @@ int run_suite(int argc, char** argv) {
   }
   if (!opt.timing_path.empty()) {
     json_value timing = json_value::object();
-    timing["schema"] = "rn-bench-timing-v1";
+    timing["schema"] = "rn-bench-timing-v2";
     timing["fast_forward"] = !opt.no_fast_forward;
     timing["seed"] = opt.seed;
     // 0 = hardware concurrency
     timing["threads"] = static_cast<std::uint64_t>(opt.threads);
     timing["experiments"] = std::move(timing_rows);
     timing["total_wall_ms"] = total_wall_ms;
+    timing["peak_rss_kb"] = peak_rss_kb();
     std::ofstream out(opt.timing_path);
     if (!out) {
       std::cerr << "cannot write " << opt.timing_path << "\n";

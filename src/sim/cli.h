@@ -18,9 +18,9 @@ struct cli_options {
   unsigned threads = 0;      ///< 0 = hardware concurrency
   std::uint64_t seed = 1;
   std::string json_path;     ///< empty = no JSON output
-  /// Wall-clock / engine-counter sidecar (rn-bench-timing-v1). Kept separate
-  /// from --json so result files stay byte-identical across thread counts
-  /// and execution modes; the CI perf gate trends this file.
+  /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v2).
+  /// Kept separate from --json so result files stay byte-identical across
+  /// thread counts and execution modes; the CI perf gate trends this file.
   std::string timing_path;
   /// Disable fast-forward execution (cross-check mode: identical results,
   /// every protocol round resolved on the channel).

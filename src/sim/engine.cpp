@@ -2,6 +2,10 @@
 
 #include <atomic>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace rn::sim {
 
 namespace {
@@ -16,6 +20,20 @@ void set_fast_forward(bool on) {
 
 engine_snapshot engine_counters() {
   return radio::network::process_totals();
+}
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace rn::sim

@@ -26,4 +26,9 @@ using engine_snapshot = radio::engine_totals;
 /// to attribute work to a run).
 [[nodiscard]] engine_snapshot engine_counters();
 
+/// Peak resident-set size of this process in kilobytes (0 where the platform
+/// offers no getrusage). Monotone; recorded in the bench timing sidecar so
+/// the perf trajectory tracks per-trial memory alongside wall-clock.
+[[nodiscard]] std::int64_t peak_rss_kb();
+
 }  // namespace rn::sim

@@ -180,9 +180,10 @@ void print_report(std::ostream& os, const experiment& e,
 
 json_value to_json(const experiment& e, const experiment_result& r) {
   json_value root = json_value::object();
-  // v2 adds the per-scenario "topology" spec; the ported E1..E9 hold the v1
-  // byte layout for one PR so pre-redesign results files compare equal.
-  root["schema"] = e.record_topology ? "rn-bench-v2" : "rn-bench-v1";
+  // rn-bench-v2 everywhere: declarative scenarios carry their canonical
+  // "topology" spec; escape-hatch scenarios simply omit the key. (The v1
+  // compatibility hold ended with the Decay coin-contract re-baseline.)
+  root["schema"] = "rn-bench-v2";
   root["experiment"] = r.id;
   root["title"] = e.title;
   root["claim"] = e.claim;
@@ -194,7 +195,7 @@ json_value to_json(const experiment& e, const experiment_result& r) {
   for (const auto& sr : r.scenarios) {
     json_value js = json_value::object();
     js["label"] = sr.label;
-    if (e.record_topology && !sr.topology.empty())
+    if (!sr.topology.empty())
       js["topology"] = sr.topology;
     json_value params = json_value::object();
     for (const auto& [name, value] : sr.params) params[name] = value;

@@ -84,9 +84,6 @@ struct experiment {
   std::size_t default_trials = 5;
   /// Excluded from `--experiment all` (scale sweeps); run explicitly by id.
   bool slow = false;
-  /// Emit rn-bench-v2 JSON (adds per-scenario "topology"). The ported E1..E9
-  /// stay on v1 for one PR so the pre-redesign results files byte-compare.
-  bool record_topology = false;
   /// Metric column order for the table; empty = first-seen order.
   std::vector<std::string> metric_columns;
   std::function<std::vector<scenario>()> make_scenarios;

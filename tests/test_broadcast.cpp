@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "baseline/decay.h"
 #include "core/single_broadcast.h"
 #include "graph/bfs.h"
@@ -7,6 +10,33 @@
 
 namespace rn::core {
 namespace {
+
+// Completion-round quantiles over many seeds for one Decay draw mode.
+struct quantiles {
+  double p10, p50, p90;
+};
+
+template <class RunFn>
+quantiles completion_quantiles(std::size_t trials, RunFn&& run) {
+  std::vector<double> rounds;
+  rounds.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto res = run(t);
+    EXPECT_TRUE(res.completed);
+    rounds.push_back(static_cast<double>(res.rounds_to_complete));
+  }
+  std::sort(rounds.begin(), rounds.end());
+  auto q = [&](double p) {
+    return rounds[static_cast<std::size_t>(p * static_cast<double>(rounds.size() - 1))];
+  };
+  return {q(0.1), q(0.5), q(0.9)};
+}
+
+void expect_close(double a, double b, double rel_tol, const char* what) {
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  EXPECT_LE(hi, lo * (1.0 + rel_tol)) << what << ": " << a << " vs " << b;
+}
 
 class DecayFamilyTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
@@ -66,6 +96,78 @@ TEST_P(LeveledDecayMmvTest, Lemma32CompletesEvenUnderNoise) {
 INSTANTIATE_TEST_SUITE_P(Sweep, LeveledDecayMmvTest,
                          ::testing::Combine(::testing::Range(1, 9),
                                             ::testing::Bool()));
+
+// The batched counter-based coin contract changes per-node draw order, so
+// equivalence with the historical per-round streams is distributional: the
+// completion-round law must match. 240 independent trials per mode; the
+// p10/p50/p90 quantiles must agree within a tolerance far tighter than the
+// ~2x spread a wrong coin bias (e.g. an off-by-one exponent) would produce.
+TEST(Decay, BatchedCoinsMatchPerRoundDistribution) {
+  graph::layered_options lo;
+  lo.depth = 8;
+  lo.width = 6;
+  lo.edge_prob = 0.35;
+  lo.seed = 12;
+  const auto g = graph::random_layered(lo);
+  const std::size_t trials = 240;
+  auto run_mode = [&](baseline::draw_mode draws) {
+    return completion_quantiles(trials, [&](std::size_t t) {
+      baseline::decay_options opt;
+      opt.seed = 1000 + t;
+      opt.draws = draws;
+      opt.fast_forward = true;
+      return baseline::run_decay_broadcast(g, 0, opt);
+    });
+  };
+  const auto batched = run_mode(baseline::draw_mode::batched);
+  const auto oracle = run_mode(baseline::draw_mode::per_round);
+  expect_close(batched.p10, oracle.p10, 0.30, "p10");
+  expect_close(batched.p50, oracle.p50, 0.25, "p50");
+  expect_close(batched.p90, oracle.p90, 0.30, "p90");
+}
+
+TEST(Decay, LeveledBatchedCoinsMatchPerRoundDistribution) {
+  graph::layered_options lo;
+  lo.depth = 8;
+  lo.width = 5;
+  lo.edge_prob = 0.4;
+  lo.seed = 4;
+  const auto g = graph::random_layered(lo);
+  const auto levels = graph::bfs(g, 0).level;
+  const std::size_t trials = 400;  // completion rounds are lumpy (level mod 3)
+  auto run_mode = [&](baseline::draw_mode draws, bool mmv) {
+    return completion_quantiles(trials, [&](std::size_t t) {
+      baseline::leveled_decay_options opt;
+      opt.seed = 500 + t;
+      opt.draws = draws;
+      opt.mmv_noise = mmv;
+      opt.fast_forward = true;
+      return baseline::run_leveled_decay_broadcast(g, 0, levels, opt);
+    });
+  };
+  for (const bool mmv : {false, true}) {
+    const auto batched = run_mode(baseline::draw_mode::batched, mmv);
+    const auto oracle = run_mode(baseline::draw_mode::per_round, mmv);
+    expect_close(batched.p50, oracle.p50, 0.25, mmv ? "p50+noise" : "p50");
+    expect_close(batched.p90, oracle.p90, 0.30, mmv ? "p90+noise" : "p90");
+  }
+}
+
+// Degenerate single-node broadcast: complete before any round runs, in both
+// draw modes (the source is the only tracked node).
+TEST(Decay, SingleNodeCompletesInZeroRoundsInBothDrawModes) {
+  const auto g = graph::path(1);
+  for (const auto draws :
+       {baseline::draw_mode::batched, baseline::draw_mode::per_round}) {
+    baseline::decay_options opt;
+    opt.seed = 3;
+    opt.draws = draws;
+    const auto res = baseline::run_decay_broadcast(g, 0, opt);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.rounds_to_complete, 0);
+    EXPECT_EQ(res.rounds_executed, 0);
+  }
+}
 
 TEST(KnownSingle, CompletesOnFamilies) {
   for (int family = 0; family < 3; ++family) {

@@ -5,12 +5,14 @@
 // protocol outputs and round counts.
 #include <gtest/gtest.h>
 
+#include "baseline/decay.h"
 #include "coding/rlnc.h"
 #include "core/assignment.h"
 #include "core/gst_distributed.h"
 #include "core/multi_broadcast.h"
 #include "core/recruiting.h"
 #include "core/single_broadcast.h"
+#include "graph/bfs.h"
 #include "graph/generators.h"
 #include "radio/network.h"
 
@@ -218,6 +220,79 @@ TEST(FastForward, AdvanceKeepsErasureRngAligned) {
     EXPECT_EQ(jumped.skipped_rounds(), idle);
     EXPECT_EQ(stepped.skipped_rounds(), 0);
   }
+}
+
+// --no-fast-forward cross-check for the Decay family: under either coin
+// contract, the fast_forward flag only changes whether the provably-idle
+// rounds are stepped on the channel or advanced past — results must be
+// bit-identical. Batched mode's idle rounds come from its transmit calendar;
+// per_round mode's from deferring planned-but-empty rounds (draw order
+// unchanged — the "exact where order is preserved" axis).
+TEST(FastForward, ClassicDecayBitIdenticalInBothDrawModes) {
+  const auto g = layered(10, 5, 31);
+  for (const auto draws :
+       {baseline::draw_mode::batched, baseline::draw_mode::per_round}) {
+    baseline::decay_options opt;
+    opt.seed = 7;
+    opt.draws = draws;
+    opt.fast_forward = false;
+    const auto naive = baseline::run_decay_broadcast(g, 0, opt);
+    opt.fast_forward = true;
+    const auto ff = baseline::run_decay_broadcast(g, 0, opt);
+    expect_same_result(naive, ff);
+    EXPECT_TRUE(naive.completed);
+  }
+}
+
+TEST(FastForward, LeveledDecayBitIdenticalWithAndWithoutNoise) {
+  const auto g = layered(8, 4, 13);
+  const auto levels = graph::bfs(g, 0).level;
+  for (const bool mmv : {false, true}) {
+    for (const auto draws :
+         {baseline::draw_mode::batched, baseline::draw_mode::per_round}) {
+      baseline::leveled_decay_options opt;
+      opt.seed = 11;
+      opt.mmv_noise = mmv;
+      opt.draws = draws;
+      opt.fast_forward = false;
+      const auto naive = baseline::run_leveled_decay_broadcast(g, 0, levels, opt);
+      opt.fast_forward = true;
+      const auto ff = baseline::run_leveled_decay_broadcast(g, 0, levels, opt);
+      expect_same_result(naive, ff);
+      EXPECT_TRUE(naive.completed) << "mmv=" << mmv;
+    }
+  }
+}
+
+TEST(FastForward, TunedDecayBitIdentical) {
+  const auto g = layered(12, 4, 17);
+  for (const auto draws :
+       {baseline::draw_mode::batched, baseline::draw_mode::per_round}) {
+    baseline::tuned_decay_options opt;
+    opt.seed = 3;
+    opt.draws = draws;
+    opt.fast_forward = false;
+    const auto naive = baseline::run_tuned_decay_broadcast(g, 0, opt);
+    opt.fast_forward = true;
+    const auto ff = baseline::run_tuned_decay_broadcast(g, 0, opt);
+    expect_same_result(naive, ff);
+  }
+}
+
+// Without stop_when_complete the run must execute its full budget in both
+// modes, and the fast path must not disturb post-completion rounds.
+TEST(FastForward, DecayFullBudgetBitIdentical) {
+  const auto g = layered(4, 4, 5);
+  baseline::decay_options opt;
+  opt.seed = 19;
+  opt.max_rounds = 400;
+  opt.stop_when_complete = false;
+  opt.fast_forward = false;
+  const auto naive = baseline::run_decay_broadcast(g, 0, opt);
+  opt.fast_forward = true;
+  const auto ff = baseline::run_decay_broadcast(g, 0, opt);
+  expect_same_result(naive, ff);
+  EXPECT_EQ(naive.rounds_executed, 400);
 }
 
 TEST(FastForward, AdvanceCountsRoundsAndNothingElse) {

@@ -60,7 +60,9 @@ TEST_P(DistributedPropertyTest, ValidOnRandomLayered) {
   lo.width = 4;
   lo.edge_prob = 0.4;
   lo.intra_prob = 0.2;
-  lo.seed = static_cast<std::uint64_t>(seed) * 17;
+  // Checked-in instance seeds (re-picked when the generator moved to
+  // geometric skip-sampling and every sampled graph changed).
+  lo.seed = static_cast<std::uint64_t>(seed) * 19;
   const auto g = graph::random_layered(lo);
   // Validity is a w.h.p. guarantee: use the paper-grade constants.
   const auto out = build_single(g, 0, static_cast<std::uint64_t>(seed),

@@ -107,19 +107,6 @@ TEST(Api, SeedsActuallyVaryOutcomes) {
   EXPECT_NE(ra.base.transmissions, rb.base.transmissions);
 }
 
-TEST(Api, ToStringMapsEnumsToRegistryIds) {
-  EXPECT_EQ(to_string(single_algorithm::gst_unknown_cd), "gst-unknown-cd");
-  EXPECT_EQ(to_string(multi_algorithm::rlnc_known), "rlnc-known");
-  for (const auto a : {single_algorithm::decay, single_algorithm::tuned_decay,
-                       single_algorithm::gst_known,
-                       single_algorithm::gst_unknown_cd})
-    EXPECT_NE(protocol_registry::instance().find(to_string(a)), nullptr);
-  for (const auto a :
-       {multi_algorithm::sequential_decay, multi_algorithm::routing,
-        multi_algorithm::rlnc_known, multi_algorithm::rlnc_unknown_cd})
-    EXPECT_NE(protocol_registry::instance().find(to_string(a)), nullptr);
-}
-
 TEST(Api, SourceMayBeAnyNode) {
   const auto g = graph::grid(4, 4);
   run_options opt;
@@ -128,29 +115,25 @@ TEST(Api, SourceMayBeAnyNode) {
   EXPECT_TRUE(res.base.completed);
 }
 
-// The enum shims survive exactly one PR; until then they must stay
-// bit-identical to the registry entry point they forward to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Api, DeprecatedEnumShimsMatchRegistry) {
+// The fast-forward flag must never change protocol results; the Decay
+// baselines ride the batched coin calendar in both modes (see
+// baseline/decay.h), the GST pipelines skip proven-idle schedule rounds.
+TEST(Api, FastForwardFlagIsResultInvariant) {
   const auto g = graph::random_unit_disk(30, 0.35, 4);
-  run_options opt;
-  opt.seed = 55;
-  opt.prm = params::fast();
-  const auto via_enum = run_single(g, 0, single_algorithm::gst_known, opt);
-  const auto via_id = run_broadcast(g, "gst-known", {0, 1}, opt);
-  EXPECT_EQ(via_enum.rounds_to_complete, via_id.base.rounds_to_complete);
-  EXPECT_EQ(via_enum.transmissions, via_id.base.transmissions);
-
-  const auto multi_enum =
-      run_multi(g, 0, 4, multi_algorithm::rlnc_known, opt);
-  const auto multi_id = run_broadcast(g, "rlnc-known", {0, 4}, opt);
-  EXPECT_EQ(multi_enum.rounds_to_complete, multi_id.base.rounds_to_complete);
-  // The enum API folds the payload check into completion.
-  EXPECT_EQ(multi_enum.completed,
-            multi_id.base.completed && multi_id.payloads_verified);
+  for (const char* id : {"decay", "tuned-decay", "gst-known"}) {
+    run_options opt;
+    opt.seed = 55;
+    opt.prm = params::fast();
+    opt.fast_forward = false;
+    const auto naive = run_broadcast(g, id, {0, 1}, opt);
+    opt.fast_forward = true;
+    const auto ff = run_broadcast(g, id, {0, 1}, opt);
+    EXPECT_EQ(naive.base.rounds_to_complete, ff.base.rounds_to_complete) << id;
+    EXPECT_EQ(naive.base.rounds_executed, ff.base.rounds_executed) << id;
+    EXPECT_EQ(naive.base.transmissions, ff.base.transmissions) << id;
+    EXPECT_EQ(naive.base.energy, ff.base.energy) << id;
+  }
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace rn::core

@@ -134,6 +134,80 @@ TEST(Network, EnergyAccounting) {
   EXPECT_EQ(net.max_energy(), 2);
 }
 
+TEST(RoundBuffer, FlyweightAndOwnedPacketsDeliver) {
+  const auto g = path(3);  // 0-1-2
+  network net(g, {.collision_detection = true});
+  const packet flyweight = packet::make_beacon(0);
+  round_buffer txs;
+  std::map<node_id, node_id> from;
+  const auto record = [&](const reception& rx) {
+    ASSERT_EQ(rx.what, observation::message);
+    from[rx.listener] = rx.pkt->a;
+  };
+  txs.add(0, flyweight);  // referenced, caller-owned
+  net.step(txs, record);
+  EXPECT_EQ(from.at(1), 0u);
+  txs.clear();
+  txs.add_owned(2, packet::make_beacon(2));  // copied into the arena
+  net.step(txs, record);
+  EXPECT_EQ(from.at(1), 2u);
+  EXPECT_EQ(net.stats().transmissions, 2);
+  EXPECT_EQ(net.stats().deliveries, 2);
+}
+
+TEST(RoundBuffer, ArenaSlotsAreStableAndRecycled) {
+  const auto g = star(6);
+  network net(g, {.collision_detection = true});
+  round_buffer txs;
+  for (int round = 0; round < 3; ++round) {
+    txs.clear();
+    // Enough owned packets to force arena growth; addresses handed to the
+    // buffer must stay valid while it grows (deque arena).
+    txs.add_owned(1, packet::make_beacon(1));
+    for (node_id v = 2; v < 6; ++v)
+      txs.add_owned(v, packet::make_pair(v, v));
+    std::size_t heard = 0;
+    net.step(txs, [&](const reception& rx) {
+      ++heard;
+      EXPECT_EQ(rx.listener, 0u);
+      EXPECT_EQ(rx.what, observation::collision);
+    });
+    EXPECT_EQ(heard, 1u);  // hub: 5 transmitters collide
+  }
+  EXPECT_EQ(net.stats().transmissions, 15);
+}
+
+TEST(RoundBuffer, MatchesLegacyVectorStep) {
+  const auto g = path(4);
+  network legacy_net(g, {.collision_detection = true});
+  network buf_net(g, {.collision_detection = true});
+  std::vector<network::tx> legacy{{0, beacon(0)}, {3, beacon(3)}};
+  round_buffer txs;
+  const packet b0 = beacon(0);
+  txs.add(0, b0);
+  txs.add_owned(3, beacon(3));
+  std::map<node_id, node_id> got_legacy, got_buf;
+  legacy_net.step(legacy, [&](const reception& rx) {
+    if (rx.what == observation::message) got_legacy[rx.listener] = rx.from;
+  });
+  buf_net.step(txs, [&](const reception& rx) {
+    if (rx.what == observation::message) got_buf[rx.listener] = rx.from;
+  });
+  EXPECT_EQ(got_legacy, got_buf);
+  EXPECT_EQ(legacy_net.stats().deliveries, buf_net.stats().deliveries);
+  EXPECT_EQ(legacy_net.energy(), buf_net.energy());
+}
+
+TEST(RoundBuffer, DoubleTransmitIsContractError) {
+  const auto g = path(2);
+  network net(g, {.collision_detection = true});
+  const packet b = beacon(0);
+  round_buffer txs;
+  txs.add(0, b);
+  txs.add(0, b);
+  EXPECT_THROW(net.step(txs, [](const reception&) {}), contract_error);
+}
+
 TEST(CompletionTracker, Basics) {
   completion_tracker t(3);
   EXPECT_FALSE(t.all_done());

@@ -96,7 +96,7 @@ TEST(Recruiting, PerfectMatchingAllSolo) {
   cfg.seed = 5;
   recruiting_instance inst(std::move(cfg));
   radio::network net(g, {.collision_detection = false});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   while (!inst.finished()) {
     txs.clear();
     inst.plan(txs);
@@ -149,7 +149,7 @@ TEST(Recruiting, UnrecruitedCountTracks) {
   recruiting_instance inst(std::move(cfg));
   EXPECT_EQ(inst.unrecruited_count(), 3u);
   radio::network net(g, {.collision_detection = false});
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
   while (!inst.finished()) {
     txs.clear();
     inst.plan(txs);

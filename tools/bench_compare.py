@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
 """Compare two bench timing files and fail on wall-clock regressions.
 
-Inputs are rn-bench-timing-v1 sidecars written by `bench_suite --timing`
+Inputs are rn-bench-timing-v1/-v2 sidecars written by `bench_suite --timing`
 and/or google-benchmark JSON written by `bench_micro --benchmark_out=...`.
 The file kind is auto-detected. Tracked metrics:
 
   * bench_suite:  per-experiment `wall_ms`
   * bench_micro:  per-benchmark `real_time` (aggregate rows are skipped)
 
+The v2 sidecar also carries `peak_rss_kb` (process high-water mark); it is
+reported for trend-watching but never gated — RSS on shared CI runners is
+too noisy for a hard threshold.
+
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 1.25] [--min-ms 5]
                      [--markdown PATH]
 
 Exit codes: 0 ok (or no comparable baseline), 1 regression, 2 bad input.
-Metrics only present on one side are reported but never fail the gate (new
-benchmarks appear, old ones are retired). Timings below --min-ms are ignored:
-at micro scale CI-runner noise swamps any real signal.
+Metrics only present on one side are reported but never fail the gate: a
+benchmark's first appearance shows as "new (no baseline)" and a removed one
+as "retired". Timings below --min-ms are ignored: at micro scale CI-runner
+noise swamps any real signal.
 
 A markdown comparison table is appended to --markdown PATH, defaulting to
 $GITHUB_STEP_SUMMARY when that is set — so the CI perf job surfaces the
@@ -28,8 +33,11 @@ import os
 import sys
 
 
+TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2")
+
+
 def load_metrics(path):
-    """Returns {metric_name: milliseconds} for a timing/benchmark file."""
+    """Returns ({metric_name: milliseconds}, peak_rss_kb_or_None)."""
     try:
         with open(path) as f:
             data = json.load(f)
@@ -37,9 +45,12 @@ def load_metrics(path):
         raise SystemExit(f"bench_compare: cannot read {path}: {e}")
 
     metrics = {}
-    if isinstance(data, dict) and data.get("schema") == "rn-bench-timing-v1":
+    peak_rss = None
+    if isinstance(data, dict) and data.get("schema") in TIMING_SCHEMAS:
         for row in data.get("experiments", []):
             metrics[f"suite/{row['id']}"] = float(row["wall_ms"])
+        if "peak_rss_kb" in data:
+            peak_rss = int(data["peak_rss_kb"])
     elif isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
         unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
         for row in data["benchmarks"]:
@@ -51,7 +62,7 @@ def load_metrics(path):
             metrics[f"micro/{row['name']}"] = float(row["real_time"]) * scale
     else:
         raise SystemExit(f"bench_compare: {path}: unrecognized format")
-    return metrics
+    return metrics, peak_rss
 
 
 def write_markdown(path, title, rows, verdict_line):
@@ -86,15 +97,18 @@ def main():
                          "(default: $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
 
-    base = load_metrics(args.baseline)
-    cur = load_metrics(args.current)
+    base, base_rss = load_metrics(args.baseline)
+    cur, cur_rss = load_metrics(args.current)
 
     regressions = []
     rows = []
     for name in sorted(set(base) | set(cur)):
         b, c = base.get(name), cur.get(name)
-        if b is None or c is None:
-            rows.append((name, b, c, "(one-sided, ignored)"))
+        if b is None:
+            rows.append((name, b, c, "new (no baseline, not gated)"))
+            continue
+        if c is None:
+            rows.append((name, b, c, "retired"))
             continue
         floor = args.min_micro_ms if name.startswith("micro/") else args.min_ms
         if max(b, c) < floor:  # ignore only when both sides are in the noise
@@ -120,6 +134,11 @@ def main():
                         f"x{args.threshold}: {', '.join(regressions)}")
     else:
         verdict_line = f"OK: no tracked metric regressed beyond x{args.threshold}"
+    if cur_rss is not None:
+        rss_note = f"peak RSS: {cur_rss / 1024.0:.0f} MiB"
+        if base_rss is not None:
+            rss_note += f" (baseline {base_rss / 1024.0:.0f} MiB)"
+        verdict_line += f" — {rss_note} [not gated]"
 
     if args.markdown:
         try:
