@@ -1,6 +1,8 @@
 // M1 — micro-benchmarks (google-benchmark): simulator and coding throughput.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "baseline/decay.h"
 #include "coding/gf2.h"
 #include "common/rng.h"
@@ -11,18 +13,25 @@
 
 using namespace rn;
 
+// The owned-packet slow path: every round mints per-node packets into the
+// round_buffer arena and dispatches receptions through a type-erased
+// std::function. (Historically this measured the deleted legacy by-value
+// step adapter; the round shape is unchanged so the perf trajectory stays
+// comparable.)
 static void BM_NetworkStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
   radio::network net(g, {.collision_detection = true});
   rng r(1);
-  std::vector<radio::network::tx> txs;
+  radio::round_buffer txs;
+  const std::function<void(const radio::reception&)> on_rx =
+      [](const radio::reception&) {};
   for (auto _ : state) {
     txs.clear();
     for (node_id v = 0; v < n; ++v)
       if (r.with_probability_pow2(3))
-        txs.push_back({v, radio::packet::make_beacon(v)});
-    net.step(txs, [](const radio::reception&) {});
+        txs.add_owned(v, radio::packet::make_beacon(v));
+    net.step(txs, on_rx);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
@@ -30,8 +39,8 @@ BENCHMARK(BM_NetworkStep)->Arg(64)->Arg(512)->Arg(4096);
 
 // The zero-allocation transmit path: a reusable round_buffer referencing
 // per-node flyweight packets, receptions statically dispatched. Same round
-// shape as BM_NetworkStep minus the per-round packet copies, shared_ptr
-// churn and std::function hop — the gap between the two is the adapter tax.
+// shape as BM_NetworkStep minus the per-round packet copies and the
+// std::function hop — the gap between the two is the type-erasure tax.
 static void BM_StepNoAlloc(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 1);
@@ -53,6 +62,35 @@ static void BM_StepNoAlloc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_StepNoAlloc)->Arg(64)->Arg(512)->Arg(4096);
+
+// The intra-trial sharded walk: same dense round as BM_StepNoAlloc on a
+// bigger graph, row walks sharded across Arg(0) team threads (volume floor
+// lowered so every round engages the team). Arg(0)=1 is the serial walk —
+// the ratio between the two rows is the intra-trial speedup on this
+// machine; results are byte-identical either way (tests/test_radio.cpp).
+static void BM_StepSharded(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const auto g = graph::random_gnp_connected(n, 16.0 / static_cast<double>(n), 1);
+  radio::network net(g, {.collision_detection = true});
+  net.set_min_parallel_volume(0);
+  net.enable_intra_trial(static_cast<unsigned>(state.range(0)));
+  rng r(1);
+  std::vector<radio::packet> beacons;
+  beacons.reserve(n);
+  for (node_id v = 0; v < n; ++v)
+    beacons.push_back(radio::packet::make_beacon(v));
+  radio::round_buffer txs;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    txs.clear();
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(3)) txs.add(v, beacons[v]);
+    net.step(txs, [&](const radio::reception& rx) { sink += rx.listener; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StepSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 // Per-round cost of the Decay baseline on its batched coin calendar
 // (counter-based blocks + next-transmit sampling; baseline/decay.h). Tracks

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -126,6 +127,12 @@ struct batched_config {
 /// with a min-heap spillover for the rare coin gap longer than W (the
 /// expected gap is one phase, ~log n rounds). Bucket order is insertion
 /// order; the channel model is order-independent within a round.
+///
+/// `next_event` keeps a cached lower bound on the earliest non-empty ring
+/// bucket, so the sparse late-phase calendars of large-n Decay (one skip
+/// query per busy round) pay amortized O(1) instead of rescanning all W
+/// buckets from base_ every call. Purely a query-path cache: push/drain
+/// order — and with it coin consumption order — is untouched.
 class tx_calendar {
  public:
   static constexpr std::size_t W = 128;  // power of two
@@ -135,6 +142,7 @@ class tx_calendar {
     if (t < base_ + static_cast<round_t>(W)) {
       ring_[static_cast<std::size_t>(t) & (W - 1)].push_back(v);
       ++ring_count_;
+      ring_min_ = std::min(ring_min_, t);
     } else {
       far_.emplace(t, v);
     }
@@ -143,8 +151,13 @@ class tx_calendar {
   /// Earliest event round >= base(), or `limit` when none is due before it.
   [[nodiscard]] round_t next_event(round_t limit) const {
     if (ring_count_ > 0) {
-      for (round_t t = base_; t < base_ + static_cast<round_t>(W); ++t)
-        if (!ring_[static_cast<std::size_t>(t) & (W - 1)].empty()) return t;
+      // ring_min_ never overshoots the true minimum, so scanning forward
+      // from it (never from base_) finds the first non-empty bucket; the
+      // result is cached for the next query.
+      round_t t = std::max(base_, ring_min_);
+      while (ring_[static_cast<std::size_t>(t) & (W - 1)].empty()) ++t;
+      ring_min_ = t;
+      return t;
     }
     if (!far_.empty()) return std::min(limit, far_.top().first);
     return limit;
@@ -159,6 +172,7 @@ class tx_calendar {
       ring_[static_cast<std::size_t>(far_.top().first) & (W - 1)].push_back(
           far_.top().second);
       ++ring_count_;
+      ring_min_ = std::min(ring_min_, far_.top().first);
       far_.pop();
     }
   }
@@ -169,15 +183,19 @@ class tx_calendar {
     out.insert(out.end(), bucket.begin(), bucket.end());
     ring_count_ -= bucket.size();
     bucket.clear();
+    if (ring_count_ == 0) ring_min_ = no_event;
   }
 
  private:
+  static constexpr round_t no_event = std::numeric_limits<round_t>::max();
+
   std::array<std::vector<node_id>, W> ring_;
   std::size_t ring_count_ = 0;
   std::priority_queue<std::pair<round_t, node_id>,
                       std::vector<std::pair<round_t, node_id>>, std::greater<>>
       far_;
   round_t base_ = 0;
+  mutable round_t ring_min_ = no_event;  // cached scan start (lower bound)
 };
 
 /// `eligible(v)`: may v ever be prompted (leveled: has a BFS level)?

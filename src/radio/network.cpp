@@ -1,16 +1,227 @@
 #include "radio/network.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "common/check.h"
 
 namespace rn::radio {
 
 namespace {
+
+/// Fixed block count of the shard plan. A constant (never the team size!)
+/// so the listener partition — and with it the reception dispatch order —
+/// is identical no matter how many threads walk the blocks. 32 blocks give
+/// dynamic claiming enough granularity to balance skewed rounds while the
+/// phase-A split overhead stays ~(degree + 32) per transmitter row.
+constexpr unsigned kNumBlocks = 32;
+
 std::atomic<std::int64_t> g_stepped{0};
 std::atomic<std::int64_t> g_skipped{0};
+std::atomic<std::int64_t> g_parallel_rounds{0};
+std::atomic<std::int64_t> g_shard_busy_ns[kNumBlocks]{};
+std::atomic<unsigned> g_max_team{0};
+
+std::mutex g_policy_mu;
+intra_trial_policy g_policy;
+
+std::mutex g_budget_mu;
+bool g_budget_set = false;
+unsigned g_budget_total = 0;
+unsigned g_budget_used = 0;
+
+unsigned budget_total_locked() {
+  if (!g_budget_set) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    g_budget_total = hw == 0 ? 1 : hw;
+    g_budget_set = true;
+  }
+  return g_budget_total;
+}
+
 }  // namespace
+
+void set_intra_trial_policy(const intra_trial_policy& p) {
+  std::lock_guard<std::mutex> lock(g_policy_mu);
+  g_policy = p;
+}
+
+intra_trial_policy get_intra_trial_policy() {
+  std::lock_guard<std::mutex> lock(g_policy_mu);
+  return g_policy;
+}
+
+void set_worker_budget(unsigned total) {
+  std::lock_guard<std::mutex> lock(g_budget_mu);
+  g_budget_set = true;
+  const unsigned hw = std::thread::hardware_concurrency();
+  g_budget_total = total != 0 ? total : (hw == 0 ? 1 : hw);
+}
+
+unsigned worker_budget() {
+  std::lock_guard<std::mutex> lock(g_budget_mu);
+  return budget_total_locked();
+}
+
+unsigned borrow_workers(unsigned want) {
+  std::lock_guard<std::mutex> lock(g_budget_mu);
+  const unsigned total = budget_total_locked();
+  const unsigned avail = total > g_budget_used ? total - g_budget_used : 0;
+  const unsigned got = std::min(want, avail);
+  g_budget_used += got;
+  return got;
+}
+
+void return_workers(unsigned n) {
+  std::lock_guard<std::mutex> lock(g_budget_mu);
+  g_budget_used -= std::min(n, g_budget_used);
+}
+
+/// The intra-trial worker team: `members - 1` persistent helper threads plus
+/// the stepping thread, synchronized per round with a generation counter.
+/// One round runs two phases — A: split every transmitter row at the block
+/// boundaries (disjoint scratch slices, claimed in chunks); barrier; B: walk
+/// the row slices of whole blocks (each block's hit words and touch list are
+/// written only by the thread that claimed it). Dynamic claiming balances
+/// skewed rounds; it cannot perturb results because the block partition and
+/// the per-block walk order are claim-independent.
+class network::shard_team {
+ public:
+  shard_team(network* net, unsigned members)
+      : net_(net), members_(members), busy_ns_(members, 0),
+        flushed_busy_ns_(members, 0) {
+    threads_.reserve(members_ - 1);
+    for (unsigned s = 1; s < members_; ++s)
+      threads_.emplace_back([this, s] { worker_main(s); });
+  }
+
+  ~shard_team() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] unsigned members() const { return members_; }
+
+  /// Runs one round's sharded walk; returns when every phase-B block is
+  /// done (the caller then dispatches receptions serially).
+  void run_round(const round_buffer& txs) {
+    txs_ = &txs;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    next_block_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_phase_a_ = members_;
+      running_ = members_;
+      ++round_gen_;
+    }
+    start_cv_.notify_all();
+    participate(0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return running_ == 0; });
+    }
+    ++parallel_rounds_;
+  }
+
+  /// Publishes so-far-unflushed per-slot busy time and round counts to the
+  /// process-wide shard totals (delta-based, so repeat calls never
+  /// double-count).
+  void flush_process_totals() {
+    unsigned seen = g_max_team.load(std::memory_order_relaxed);
+    while (seen < members_ &&
+           !g_max_team.compare_exchange_weak(seen, members_)) {
+    }
+    g_parallel_rounds.fetch_add(parallel_rounds_ - flushed_rounds_,
+                                std::memory_order_relaxed);
+    flushed_rounds_ = parallel_rounds_;
+    for (unsigned s = 0; s < members_; ++s) {
+      g_shard_busy_ns[s].fetch_add(busy_ns_[s] - flushed_busy_ns_[s],
+                                   std::memory_order_relaxed);
+      flushed_busy_ns_[s] = busy_ns_[s];
+    }
+  }
+
+ private:
+  void worker_main(unsigned slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] { return stop_ || round_gen_ != seen; });
+        if (stop_) return;
+        seen = round_gen_;
+      }
+      participate(slot);
+    }
+  }
+
+  void participate(unsigned slot) {
+    using clock = std::chrono::steady_clock;
+    const std::size_t m = txs_->size();
+    const std::size_t chunk = std::max<std::size_t>(64, m / (8 * members_));
+    auto t0 = clock::now();
+    for (;;) {
+      const std::size_t begin =
+          next_chunk_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= m) break;
+      net_->split_rows_chunk(*txs_, begin, std::min(m, begin + chunk));
+    }
+    std::int64_t busy =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count();
+    {
+      // Phase barrier: no block walk may start before every row split is
+      // written (a block reads the splits of *all* transmitters).
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_phase_a_ == 0) {
+        phase_cv_.notify_all();
+      } else {
+        phase_cv_.wait(lock, [this] { return in_phase_a_ == 0; });
+      }
+    }
+    t0 = clock::now();
+    for (;;) {
+      const unsigned block =
+          next_block_.fetch_add(1, std::memory_order_relaxed);
+      if (block >= kNumBlocks) break;
+      net_->walk_block(*txs_, block);
+    }
+    busy +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count();
+    busy_ns_[slot] += busy;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  network* net_;
+  const unsigned members_;
+  const round_buffer* txs_ = nullptr;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<unsigned> next_block_{0};
+  std::mutex mu_;
+  std::condition_variable start_cv_, phase_cv_, done_cv_;
+  std::uint64_t round_gen_ = 0;
+  unsigned in_phase_a_ = 0;
+  unsigned running_ = 0;
+  bool stop_ = false;
+  std::int64_t parallel_rounds_ = 0;
+  std::int64_t flushed_rounds_ = 0;
+  std::vector<std::int64_t> busy_ns_;
+  std::vector<std::int64_t> flushed_busy_ns_;
+};
 
 network::network(const graph::graph& g, model m)
     : g_(&g), model_(m), erasure_rng_(m.erasure_seed) {
@@ -19,6 +230,8 @@ network::network(const graph::graph& g, model m)
   node_count_ = g.node_count();
   // Private CSR copy: 32-bit row offsets and a contiguous neighbor array keep
   // the per-round walk cache-linear and independent of the graph's internals.
+  // Rows stay sorted ascending (the graph builder's contract), which is what
+  // lets the sharded walk slice each row at the block boundaries.
   row_start_.assign(node_count_ + 1, 0);
   std::size_t total = 0;
   for (node_id v = 0; v < node_count_; ++v) {
@@ -34,16 +247,86 @@ network::network(const graph::graph& g, model m)
   hit_state_.assign(node_count_, 0);
   is_transmitting_.assign(node_count_, 0);
   tx_count_.assign(node_count_, 0);
+
+  // The reusable shard plan: kNumBlocks contiguous listener ranges with
+  // roughly equal adjacency volume (a listener's walk cost is its degree).
+  // Recycled across every round; independent of the team size by design.
+  block_bounds_.assign(kNumBlocks + 1, 0);
+  block_bounds_[kNumBlocks] = static_cast<node_id>(node_count_);
+  for (unsigned b = 1; b < kNumBlocks; ++b) {
+    const std::uint32_t target =
+        static_cast<std::uint32_t>(total * b / kNumBlocks);
+    const auto it =
+        std::lower_bound(row_start_.begin(), row_start_.end(), target);
+    auto v = static_cast<node_id>(it - row_start_.begin());
+    if (v > node_count_) v = static_cast<node_id>(node_count_);
+    block_bounds_[b] = std::max(block_bounds_[b - 1], v);
+  }
+  block_of_.assign(node_count_, 0);
+  for (unsigned b = 0; b < kNumBlocks; ++b)
+    for (node_id v = block_bounds_[b]; v < block_bounds_[b + 1]; ++v)
+      block_of_[v] = static_cast<std::uint8_t>(b);
+  block_touched_.resize(kNumBlocks);
+
+  const intra_trial_policy pol = get_intra_trial_policy();
+  min_parallel_volume_ = pol.min_parallel_volume;
+  if (pol.threads >= 2) {
+    enable_intra_trial(pol.threads);
+  } else if (pol.threads == 0 && node_count_ >= pol.auto_threshold) {
+    // Auto mode: borrow whatever capacity the trial pool is not using right
+    // now, and keep re-polling between rounds (prepare_round) — scenario
+    // workers return their slots as their queue drains, so a big trial
+    // constructed while the pool was still busy grows its team and
+    // inherits the machine moments later.
+    auto_shards_ = true;
+    borrowed_workers_ = borrow_workers(kNumBlocks - 1);
+    if (borrowed_workers_ > 0) enable_intra_trial(borrowed_workers_ + 1);
+  }
 }
 
 network::~network() {
-  g_stepped.fetch_add(stats_.rounds - skipped_, std::memory_order_relaxed);
-  g_skipped.fetch_add(skipped_, std::memory_order_relaxed);
+  flush_totals();
+  team_.reset();
+  if (borrowed_workers_ > 0) return_workers(borrowed_workers_);
+}
+
+void network::flush_totals() {
+  const std::int64_t stepped = stats_.rounds - skipped_;
+  g_stepped.fetch_add(stepped - flushed_stepped_, std::memory_order_relaxed);
+  flushed_stepped_ = stepped;
+  g_skipped.fetch_add(skipped_ - flushed_skipped_, std::memory_order_relaxed);
+  flushed_skipped_ = skipped_;
+  if (team_) team_->flush_process_totals();
 }
 
 engine_totals network::process_totals() {
   return {g_stepped.load(std::memory_order_relaxed),
           g_skipped.load(std::memory_order_relaxed)};
+}
+
+shard_totals network::process_shard_totals() {
+  shard_totals t;
+  t.parallel_rounds = g_parallel_rounds.load(std::memory_order_relaxed);
+  const unsigned slots =
+      std::min(g_max_team.load(std::memory_order_relaxed), kNumBlocks);
+  t.busy_ns.reserve(slots);
+  for (unsigned s = 0; s < slots; ++s)
+    t.busy_ns.push_back(g_shard_busy_ns[s].load(std::memory_order_relaxed));
+  return t;
+}
+
+void network::enable_intra_trial(unsigned threads) {
+  threads = std::min(threads, kNumBlocks);
+  if (team_) {
+    if (team_->members() == threads) return;
+    team_->flush_process_totals();
+    team_.reset();
+  }
+  if (threads >= 2) team_ = std::make_unique<shard_team>(this, threads);
+}
+
+unsigned network::intra_trial_threads() const {
+  return team_ ? team_->members() : 1;
 }
 
 std::int64_t network::max_energy() const {
@@ -59,14 +342,112 @@ void network::advance(round_t idle_rounds) {
   skipped_ += idle_rounds;
 }
 
-void network::step(const std::vector<tx>& transmissions,
-                   const rx_callback& on_rx) {
-  adapter_buf_.clear();
-  for (const auto& t : transmissions) adapter_buf_.add(t.from, t.pkt);
-  if (on_rx) {
-    step(adapter_buf_, [&](const reception& rx) { on_rx(rx); });
+void network::prepare_round(const round_buffer& txs) {
+  stats_.rounds += 1;
+  const std::size_t m = txs.size();
+  stats_.transmissions += static_cast<std::int64_t>(m);
+
+  // Auto-mode growth: every 64 stepped rounds, try to borrow capacity that
+  // scenario workers have returned since construction. Team size is purely
+  // an execution detail, so growing mid-run cannot perturb results.
+  if (auto_shards_ && --auto_poll_ <= 0) {
+    auto_poll_ = 64;
+    if (borrowed_workers_ + 1 < kNumBlocks) {
+      const unsigned extra =
+          borrow_workers(kNumBlocks - 1 - borrowed_workers_);
+      if (extra > 0) {
+        borrowed_workers_ += extra;
+        enable_intra_trial(borrowed_workers_ + 1);
+      }
+    }
+  }
+
+  // Mark transmitters; a node transmitting twice in one round is a runner
+  // bug. The row volume decides whether sharding this round's walk can pay
+  // for its two synchronization points.
+  std::size_t volume = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const node_id u = txs[i].from;
+    RN_REQUIRE(u < node_count_, "transmitter out of range");
+    RN_REQUIRE(!is_transmitting_[u], "node transmitted twice in a round");
+    is_transmitting_[u] = 1;
+    tx_count_[u] += 1;
+    volume += row_start_[u + 1] - row_start_[u];
+  }
+
+  if (team_ && m > 0 && volume >= min_parallel_volume_) {
+    row_split_.resize(m * (kNumBlocks + 1));
+    team_->run_round(txs);
   } else {
-    step(adapter_buf_, [](const reception&) {});
+    serial_walk(txs);
+  }
+}
+
+void network::serial_walk(const round_buffer& txs) {
+  // Tally transmitting neighbors of every potential listener: one
+  // contiguous CSR row walk per transmitter. Per-listener state is one
+  // packed word — hit count in the high half, last sender index in the
+  // low half — so each neighbor visit touches a single cache line. First
+  // touches land on the owner block's list, in walk order: exactly the
+  // order a sharded walk of the same round produces.
+  const node_id* adj = adj_.data();
+  std::uint64_t* hits = hit_state_.data();
+  const std::uint8_t* owner = block_of_.data();
+  const auto m = static_cast<std::uint32_t>(txs.size());
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const node_id u = txs[i].from;
+    const std::uint32_t begin = row_start_[u];
+    const std::uint32_t end = row_start_[u + 1];
+    for (std::uint32_t a = begin; a < end; ++a) {
+      const node_id v = adj[a];
+      const std::uint64_t hs = hits[v];
+      if (hs == 0) block_touched_[owner[v]].push_back(v);
+      hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
+    }
+  }
+}
+
+void network::split_rows_chunk(const round_buffer& txs, std::size_t begin,
+                               std::size_t end) {
+  // Rows are sorted ascending and blocks are contiguous id ranges, so one
+  // linear pass per row finds every block boundary: O(degree + kNumBlocks).
+  const node_id* adj = adj_.data();
+  const node_id* bounds = block_bounds_.data();
+  constexpr std::size_t stride = kNumBlocks + 1;
+  for (std::size_t i = begin; i < end; ++i) {
+    const node_id u = txs[i].from;
+    std::uint32_t a = row_start_[u];
+    const std::uint32_t row_end = row_start_[u + 1];
+    std::uint32_t* out = row_split_.data() + i * stride;
+    for (unsigned b = 0; b < kNumBlocks; ++b) {
+      out[b] = a;
+      const node_id limit = bounds[b + 1];
+      while (a < row_end && adj[a] < limit) ++a;
+    }
+    out[kNumBlocks] = row_end;
+  }
+}
+
+void network::walk_block(const round_buffer& txs, unsigned block) {
+  // Owner-computes: every hit word and touch-list entry of this block's
+  // listeners is written here and nowhere else this round. Iterating
+  // transmitters in index order keeps the packed "last sender" and the
+  // first-touch order identical to the serial walk's.
+  const node_id* adj = adj_.data();
+  std::uint64_t* hits = hit_state_.data();
+  auto& touched = block_touched_[block];
+  const auto m = static_cast<std::uint32_t>(txs.size());
+  const std::uint32_t* split = row_split_.data();
+  constexpr std::size_t stride = kNumBlocks + 1;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t begin = split[i * stride + block];
+    const std::uint32_t end = split[i * stride + block + 1];
+    for (std::uint32_t a = begin; a < end; ++a) {
+      const node_id v = adj[a];
+      const std::uint64_t hs = hits[v];
+      if (hs == 0) touched.push_back(v);
+      hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
+    }
   }
 }
 

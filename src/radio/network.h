@@ -21,14 +21,22 @@
 // receptions delivered through a statically-dispatched callable. A protocol
 // that broadcasts one message keeps a single flyweight `packet` for its
 // whole run and references it from every transmission: no per-round packet
-// copies, no shared_ptr refcount churn, no std::function dispatch. The
-// legacy `step(std::vector<tx>, rx_callback)` overload survives one PR as a
-// thin adapter.
+// copies, no shared_ptr refcount churn, no std::function dispatch.
+//
+// Intra-trial parallelism: the CSR row walks of one round can be sharded
+// across worker threads by contiguous *listener* ranges (a fixed block
+// partition of the node-id space, balanced by adjacency volume). Each
+// listener's packed hit word is written by exactly one owner block, and the
+// merged reception dispatch visits blocks in ascending order — so receptions
+// are delivered in one canonical order that depends only on the graph and
+// the transmit list, never on the thread count. Results are byte-identical
+// at every intra-trial thread count; see README "Intra-trial parallel
+// reception".
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -124,6 +132,49 @@ struct engine_totals {
   std::int64_t skipped_rounds = 0;  ///< rounds fast-forwarded by `advance`
 };
 
+/// Process-wide intra-trial (sharded `step`) workload counters. Timing is
+/// diagnostic only — reported by the bench timing sidecar, never part of
+/// protocol results.
+struct shard_totals {
+  /// Rounds whose row walks ran on a shard team (vs the serial walk).
+  std::int64_t parallel_rounds = 0;
+  /// Cumulative busy nanoseconds per team slot (slot 0 = the stepping
+  /// thread) across all networks flushed so far; sized to the largest team
+  /// seen in this process.
+  std::vector<std::int64_t> busy_ns;
+};
+
+/// Process-wide intra-trial parallelism policy, consulted by every `network`
+/// at construction. `threads == 1` (the default) keeps construction serial;
+/// `threads == 0` is *auto*: networks with at least `auto_threshold` nodes
+/// borrow whatever worker capacity the trial pool is not using (see
+/// `set_worker_budget`). An explicit `threads >= 2` forces that team size
+/// regardless of node count or budget — results are byte-identical either
+/// way, so the policy is purely an execution knob.
+struct intra_trial_policy {
+  unsigned threads = 1;
+  std::size_t auto_threshold = 250'000;
+  /// Rounds whose total row-walk volume (sum of transmitter degrees) is
+  /// below this run on the stepping thread even when a team exists; the
+  /// per-round synchronization would cost more than it saves.
+  std::size_t min_parallel_volume = 16'384;
+};
+
+void set_intra_trial_policy(const intra_trial_policy& p);
+[[nodiscard]] intra_trial_policy get_intra_trial_policy();
+
+/// Worker-capacity accounting shared between the scenario-level trial pool
+/// and intra-trial shard teams: the pool's workers hold slots while they
+/// run, and anything left over (or returned by workers whose queue drained)
+/// can be borrowed by networks whose trials are big enough to shard. The
+/// budget caps total process concurrency at `total` (default: hardware
+/// concurrency). Purely an execution detail — never affects results.
+void set_worker_budget(unsigned total);
+[[nodiscard]] unsigned worker_budget();
+/// Takes up to `want` slots; returns how many were actually granted.
+[[nodiscard]] unsigned borrow_workers(unsigned want);
+void return_workers(unsigned n);
+
 /// The round engine. Protocol runners provide, per round, the list of
 /// transmitting nodes with their packets; the engine resolves the channel and
 /// reports receptions via callback.
@@ -134,6 +185,14 @@ struct engine_totals {
 /// 32-bit arrays, with a per-round transmitter bitmap to separate talkers
 /// from listeners (bench_micro BM_NetworkStep / BM_StepNoAlloc track this
 /// path).
+///
+/// Reception order contract: listeners are resolved block by block (a fixed
+/// degree-balanced partition of the node-id space computed at construction),
+/// and within a block in the order the serial row walk first touches them.
+/// Both the partition and the touch order depend only on the graph and the
+/// transmit list, so the callback order — and with it every RNG draw the
+/// callback or the erasure channel makes — is identical whether the walk ran
+/// on one thread or many.
 class network {
  public:
   network(const graph::graph& g, model m);
@@ -141,6 +200,11 @@ class network {
 
   network(const network&) = delete;
   network& operator=(const network&) = delete;
+  // Moves are deleted on purpose: a moved-from network that still flushed
+  // its round counters in ~network() would double-count the process-wide
+  // engine totals, and the shard team holds a back-pointer to this object.
+  network(network&&) = delete;
+  network& operator=(network&&) = delete;
 
   [[nodiscard]] const graph::graph& topology() const { return *g_; }
   [[nodiscard]] const model& config() const { return model_; }
@@ -153,9 +217,20 @@ class network {
   /// produced whether rounds are stepped or skipped.
   [[nodiscard]] std::int64_t skipped_rounds() const { return skipped_; }
 
-  /// Aggregated stepped/skipped counts over every network destroyed so far in
+  /// Aggregated stepped/skipped counts over every network flushed so far in
   /// this process (thread-safe; used for engine accounting in bench timing).
   [[nodiscard]] static engine_totals process_totals();
+
+  /// Aggregated intra-trial shard counters/timing over every network flushed
+  /// so far in this process (thread-safe; bench timing sidecar only).
+  [[nodiscard]] static shard_totals process_shard_totals();
+
+  /// Publishes this network's so-far-unflushed round counters and shard
+  /// timings to the process-wide totals. Idempotent per round: each round is
+  /// counted exactly once no matter how often this is called — ~network()
+  /// flushes the remainder, so short-lived networks need never call it. Lets
+  /// a long-running live network show up in the timing sidecar.
+  void flush_totals();
 
   /// Per-node transmission counts — the energy metric of radio networks.
   /// 32-bit on purpose: a node transmits at most once per round and no
@@ -166,84 +241,58 @@ class network {
   }
   [[nodiscard]] std::int64_t max_energy() const;
 
-  /// One transmission in the current round (legacy by-value form).
-  struct tx {
-    node_id from;
-    packet pkt;
-  };
-
-  using rx_callback = std::function<void(const reception&)>;
+  /// Resizes this network's shard team: `threads >= 2` spawns (or reshapes)
+  /// a team of that many walkers (capped at the block count), `threads <= 1`
+  /// tears it down. The process policy applies this automatically at
+  /// construction; call it directly to override per network (tests do).
+  void enable_intra_trial(unsigned threads);
+  /// Current team size (1 = serial row walks).
+  [[nodiscard]] unsigned intra_trial_threads() const;
+  /// Per-round volume floor below which a team, if any, is bypassed.
+  void set_min_parallel_volume(std::size_t v) { min_parallel_volume_ = v; }
 
   /// Executes one synchronous round: every node in `txs` transmits its
   /// packet, everyone else listens. `on_rx` is invoked for every listener
-  /// that observes a message or (in the CD model) a collision. Listeners that
-  /// observe silence get no callback (silence carries no information in the
-  /// no-CD model, and in the CD model protocols in this library never act on
-  /// it round-by-round; they act on its absence, which they infer from their
+  /// that observes a message or (in the CD model) a collision, in the
+  /// canonical block order described above. Listeners that observe silence
+  /// get no callback (silence carries no information in the no-CD model, and
+  /// in the CD model protocols in this library never act on it
+  /// round-by-round; they act on its absence, which they infer from their
   /// own state).
   template <class OnRx>
   void step(const round_buffer& txs, OnRx&& on_rx) {
-    stats_.rounds += 1;
-    const std::size_t m = txs.size();
-    stats_.transmissions += static_cast<std::int64_t>(m);
-
-    // Mark transmitters; a node transmitting twice in one round is a runner
-    // bug.
-    for (std::size_t i = 0; i < m; ++i) {
-      const node_id u = txs[i].from;
-      RN_REQUIRE(u < node_count_, "transmitter out of range");
-      RN_REQUIRE(!is_transmitting_[u], "node transmitted twice in a round");
-      is_transmitting_[u] = 1;
-      tx_count_[u] += 1;
-    }
-
-    // Tally transmitting neighbors of every potential listener: one
-    // contiguous CSR row walk per transmitter. Per-listener state is one
-    // packed word — hit count in the high half, last sender index in the
-    // low half — so each neighbor visit touches a single cache line.
-    const node_id* adj = adj_.data();
+    prepare_round(txs);
+    // Resolve observations for touched listeners, block by block. The walk
+    // (serial or sharded) has left every touched listener's packed hit word
+    // — transmitting-neighbor count in the high half, index of the last
+    // transmitter heard in the low half — in hit_state_.
     std::uint64_t* hits = hit_state_.data();
-    for (std::uint32_t i = 0; i < m; ++i) {
-      const node_id u = txs[i].from;
-      const std::uint32_t begin = row_start_[u];
-      const std::uint32_t end = row_start_[u + 1];
-      for (std::uint32_t a = begin; a < end; ++a) {
-        const node_id v = adj[a];
+    for (auto& touched : block_touched_) {
+      for (node_id v : touched) {
         const std::uint64_t hs = hits[v];
-        if (hs == 0) touched_.push_back(v);
-        hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
-      }
-    }
-
-    // Resolve observations for listeners.
-    for (node_id v : touched_) {
-      const std::uint64_t hs = hits[v];
-      if (!is_transmitting_[v]) {
-        if ((hs >> 32) == 1) {
-          if (model_.erasure_prob > 0.0 &&
-              erasure_rng_.bernoulli(model_.erasure_prob)) {
-            stats_.erasures += 1;  // decoding failed; observed as silence
-          } else {
-            const tx_ref& t = txs[hs & 0xffffffffULL];
-            stats_.deliveries += 1;
-            on_rx(reception{v, observation::message, t.pkt, t.from});
+        if (!is_transmitting_[v]) {
+          if ((hs >> 32) == 1) {
+            if (model_.erasure_prob > 0.0 &&
+                erasure_rng_.bernoulli(model_.erasure_prob)) {
+              stats_.erasures += 1;  // decoding failed; observed as silence
+            } else {
+              const tx_ref& t = txs[hs & 0xffffffffULL];
+              stats_.deliveries += 1;
+              on_rx(reception{v, observation::message, t.pkt, t.from});
+            }
+          } else if (model_.collision_detection) {
+            stats_.collisions_observed += 1;
+            on_rx(reception{v, observation::collision, nullptr, no_node});
           }
-        } else if (model_.collision_detection) {
-          stats_.collisions_observed += 1;
-          on_rx(reception{v, observation::collision, nullptr, no_node});
+          // Without CD, >=2 transmitters is indistinguishable from silence.
         }
-        // Without CD, >=2 transmitters is indistinguishable from silence.
+        hits[v] = 0;
       }
-      hits[v] = 0;
+      touched.clear();
     }
-    touched_.clear();
-    for (std::size_t i = 0; i < m; ++i) is_transmitting_[txs[i].from] = 0;
+    for (std::size_t i = 0; i < txs.size(); ++i)
+      is_transmitting_[txs[i].from] = 0;
   }
-
-  /// Legacy round execution over by-value transmissions, dispatching through
-  /// std::function. Thin adapter over the round_buffer path; kept for
-  /// exactly one PR.
-  void step(const std::vector<tx>& transmissions, const rx_callback& on_rx);
 
   /// Fast-forwards `idle_rounds` rounds in which no node transmits, in O(1).
   /// Observably identical to calling `step({}, on_rx)` that many times: an
@@ -252,6 +301,22 @@ class network {
   void advance(round_t idle_rounds);
 
  private:
+  class shard_team;
+  friend class shard_team;
+
+  /// Validates and marks the transmitters, then tallies every listener's
+  /// transmitting neighbors into hit_state_ / block_touched_ — on this
+  /// thread, or sharded across the team when the round is big enough.
+  void prepare_round(const round_buffer& txs);
+  void serial_walk(const round_buffer& txs);
+  /// Walks the slice of every transmitter row owned by `block` (phase B of
+  /// the sharded walk; row_split_ was filled by split_rows_chunk).
+  void walk_block(const round_buffer& txs, unsigned block);
+  /// Computes, for transmitters [begin, end), the offsets at which each row
+  /// crosses a block boundary (phase A of the sharded walk).
+  void split_rows_chunk(const round_buffer& txs, std::size_t begin,
+                        std::size_t end);
+
   const graph::graph* g_;
   model model_;
   network_stats stats_;
@@ -266,8 +331,29 @@ class network {
   // high 32 bits, index of the last transmitter heard in the low 32.
   std::vector<std::uint64_t> hit_state_;
   std::vector<char> is_transmitting_;      // per-round transmitter bitmap
-  std::vector<node_id> touched_;
-  round_buffer adapter_buf_;  // scratch for the legacy step overload
+  // The reusable shard plan: a fixed partition of the node-id space into
+  // kNumBlocks contiguous listener ranges balanced by adjacency volume.
+  // block_bounds_[b] .. block_bounds_[b+1] is block b; block_of_[v] is the
+  // owner block of listener v. Computed once, recycled every round; the
+  // partition never depends on the team size, which is what makes reception
+  // order thread-count-invariant.
+  std::vector<node_id> block_bounds_;
+  std::vector<std::uint8_t> block_of_;
+  // Per-block first-touch lists (the dispatch order within each block).
+  std::vector<std::vector<node_id>> block_touched_;
+  // Phase A scratch: per transmitter, kNumBlocks+1 row offsets.
+  std::vector<std::uint32_t> row_split_;
+  std::size_t min_parallel_volume_ = 0;
+  unsigned borrowed_workers_ = 0;
+  // Auto mode re-polls the worker budget between rounds: a big trial
+  // constructed while the pool was busy grows its team as scenario workers
+  // finish and return their slots (byte-identical results at any size).
+  bool auto_shards_ = false;
+  int auto_poll_ = 0;
+  std::unique_ptr<shard_team> team_;
+  // flush_totals() high-water marks (what was already published).
+  std::int64_t flushed_stepped_ = 0;
+  std::int64_t flushed_skipped_ = 0;
 };
 
 }  // namespace rn::radio

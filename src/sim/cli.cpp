@@ -30,6 +30,10 @@ void print_usage(std::ostream& os, const char* prog) {
         " experiment)\n"
      << "  --threads,    -j  worker threads (default: hardware concurrency);\n"
      << "                    results are identical at every thread count\n"
+     << "  --intra-trial-threads  shards per big-trial network: 0 = auto\n"
+     << "                    (above a node-count threshold, borrow pool\n"
+     << "                    capacity), 1 = serial, k = force k-thread teams;\n"
+     << "                    results are identical at every value\n"
      << "  --seed,       -s  run seed (default 1)\n"
      << "  --topology        ad-hoc workload: topology spec"
         " kind:param=value,...\n"
@@ -189,7 +193,7 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
       out.no_fast_forward = true;
     } else if (arg == "--trials" || arg == "-t" || arg == "--threads" ||
                arg == "-j" || arg == "--seed" || arg == "-s" ||
-               arg == "--messages") {
+               arg == "--messages" || arg == "--intra-trial-threads") {
       const char* v = value(arg);
       if (v == nullptr) return false;
       std::uint64_t n = 0;
@@ -205,6 +209,8 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
         out.trials = static_cast<std::size_t>(n);
       } else if (arg == "--threads" || arg == "-j") {
         out.threads = static_cast<unsigned>(n);
+      } else if (arg == "--intra-trial-threads") {
+        out.intra_trial_threads = static_cast<unsigned>(n);
       } else if (arg == "--messages") {
         if (n == 0) {
           std::cerr << "--messages must be >= 1\n";
@@ -303,6 +309,11 @@ int run_suite(int argc, char** argv) {
   }
 
   set_fast_forward(!opt.no_fast_forward);
+  // Worker capacity is shared between the scenario pool and intra-trial
+  // shard teams; --intra-trial-threads picks how big trials use it (auto by
+  // default — byte-identical results at every value, so purely a perf knob).
+  radio::set_worker_budget(opt.threads);
+  set_intra_trial_threads(opt.intra_trial_threads);
 
   json_value all = json_value::array();
   json_value timing_rows = json_value::array();
@@ -314,6 +325,7 @@ int run_suite(int argc, char** argv) {
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
     const engine_snapshot before = engine_counters();
+    const shard_snapshot shards_before = shard_counters();
     const auto t0 = std::chrono::steady_clock::now();
     experiment_result result;
     try {
@@ -344,6 +356,20 @@ int run_suite(int argc, char** argv) {
           resolve_threads(cfg.threads, result.scenarios.size() * cfg.trials));
       row["stepped_rounds"] = after.stepped_rounds - before.stepped_rounds;
       row["skipped_rounds"] = after.skipped_rounds - before.skipped_rounds;
+      // Intra-trial backend evidence: rounds whose row walks were sharded
+      // and the per-team-slot busy time they consumed (slot 0 = the
+      // stepping thread). Deltas, so each experiment reports its own work.
+      const shard_snapshot shards_after = shard_counters();
+      row["parallel_rounds"] =
+          shards_after.parallel_rounds - shards_before.parallel_rounds;
+      json_value shard_ms = json_value::array();
+      for (std::size_t s = 0; s < shards_after.busy_ns.size(); ++s) {
+        const std::int64_t prev = s < shards_before.busy_ns.size()
+                                      ? shards_before.busy_ns[s]
+                                      : 0;
+        shard_ms.push_back((shards_after.busy_ns[s] - prev) / 1e6);
+      }
+      row["shard_busy_ms"] = std::move(shard_ms);
       // Monotone high-water mark up to and including this experiment.
       row["peak_rss_kb"] = peak_rss_kb();
       timing_rows.push_back(std::move(row));
@@ -366,6 +392,9 @@ int run_suite(int argc, char** argv) {
     timing["seed"] = opt.seed;
     // 0 = hardware concurrency
     timing["threads"] = static_cast<std::uint64_t>(opt.threads);
+    // 0 = auto (node-count threshold + borrowed pool capacity)
+    timing["intra_trial_threads"] =
+        static_cast<std::uint64_t>(opt.intra_trial_threads);
     timing["experiments"] = std::move(timing_rows);
     timing["total_wall_ms"] = total_wall_ms;
     timing["peak_rss_kb"] = peak_rss_kb();

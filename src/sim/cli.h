@@ -16,6 +16,11 @@ struct cli_options {
   std::string experiment;    ///< id, or "all" (skips slow-labeled sweeps)
   std::size_t trials = 0;    ///< 0 = each experiment's default_trials
   unsigned threads = 0;      ///< 0 = hardware concurrency
+  /// Shards per big-trial network: 0 = auto (networks above the intra-trial
+  /// node threshold borrow worker capacity the trial pool is not using),
+  /// 1 = serial row walks, k >= 2 = force k-thread teams. Results are
+  /// byte-identical at every value.
+  unsigned intra_trial_threads = 0;
   std::uint64_t seed = 1;
   std::string json_path;     ///< empty = no JSON output
   /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v2).

@@ -60,12 +60,14 @@ TEST(Erasure, ModelDropsDeliveries) {
   m.collision_detection = false;
   m.erasure_prob = 0.5;
   radio::network net(g, m);
+  const radio::packet b0 = radio::packet::make_beacon(0);
+  radio::round_buffer txs;
+  txs.add(0, b0);
   int delivered = 0;
   for (int i = 0; i < 2000; ++i) {
-    net.step({{0, radio::packet::make_beacon(0)}},
-             [&](const radio::reception& rx) {
-               if (rx.what == radio::observation::message) ++delivered;
-             });
+    net.step(txs, [&](const radio::reception& rx) {
+      if (rx.what == radio::observation::message) ++delivered;
+    });
   }
   EXPECT_NEAR(delivered, 1000, 120);
   EXPECT_EQ(net.stats().deliveries + net.stats().erasures, 2000);
@@ -105,12 +107,13 @@ TEST_P(ErasureRobustnessTest, DecayCompletesOnLossyChannel) {
   auto body = std::make_shared<radio::packet_body>();
   body->data = {1};
   const int L = 7;
-  std::vector<radio::network::tx> txs;
+  const radio::packet data_pkt = radio::packet::make_data(0, body);
+  radio::round_buffer txs;
   for (round_t t = 0; t < 20000 && remaining > 0; ++t) {
     txs.clear();
     for (node_id v = 0; v < g.node_count(); ++v)
       if (informed[v] && rngs[v].with_probability_pow2(1 + static_cast<int>(t % L)))
-        txs.push_back({v, radio::packet::make_data(0, body)});
+        txs.add(v, data_pkt);
     net.step(txs, [&](const radio::reception& rx) {
       if (rx.what == radio::observation::message && !informed[rx.listener]) {
         informed[rx.listener] = 1;
@@ -194,13 +197,14 @@ TEST(Erasure, GstBroadcastSurvivesMildLoss) {
     rngs.push_back(rng::for_stream(9, v));
   auto body = std::make_shared<radio::packet_body>();
   body->data = {1};
-  std::vector<radio::network::tx> txs;
+  const radio::packet data_pkt = radio::packet::make_data(0, body);
+  radio::round_buffer txs;
   for (round_t r = 0; r < 20000 && remaining > 0; ++r) {
     txs.clear();
     for (node_id v = 0; v < g.node_count(); ++v) {
       if (!informed[v]) continue;
       if (sched.query(v, r, rngs[v]) != gst_schedule::action::none)
-        txs.push_back({v, radio::packet::make_data(0, body)});
+        txs.add(v, data_pkt);
     }
     net.step(txs, [&](const radio::reception& rx) {
       if (rx.what == radio::observation::message && !informed[rx.listener]) {

@@ -199,19 +199,22 @@ TEST(FastForward, AdvanceKeepsErasureRngAligned) {
   const radio::model m{.collision_detection = true,
                        .erasure_prob = 0.5,
                        .erasure_seed = 1234};
-  const std::vector<radio::network::tx> quiet;
-  std::vector<radio::network::tx> busy{{0, radio::packet::make_beacon(0)}};
+  const radio::round_buffer quiet;
+  const radio::packet b0 = radio::packet::make_beacon(0);
+  radio::round_buffer busy;
+  busy.add(0, b0);
+  const auto drop = [](const radio::reception&) {};
 
   for (const round_t idle : {0, 1, 7, 1000, 1 << 20}) {
     radio::network stepped(g, m);
     radio::network jumped(g, m);
-    for (round_t i = 0; i < idle; ++i) stepped.step(quiet, nullptr);
+    for (round_t i = 0; i < idle; ++i) stepped.step(quiet, drop);
     jumped.advance(idle);
     EXPECT_EQ(stepped.now(), jumped.now());
     // Several busy rounds afterwards must erase identically.
     for (int i = 0; i < 32; ++i) {
-      stepped.step(busy, nullptr);
-      jumped.step(busy, nullptr);
+      stepped.step(busy, drop);
+      jumped.step(busy, drop);
     }
     EXPECT_EQ(stepped.stats().erasures, jumped.stats().erasures);
     EXPECT_EQ(stepped.stats().deliveries, jumped.stats().deliveries);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "graph/generators.h"
 #include "radio/network.h"
 #include "radio/result.h"
@@ -20,9 +24,12 @@ struct observed {
   std::map<node_id, node_id> from;
 };
 
-observed run_round(network& net, const std::vector<network::tx>& txs) {
+observed run_round(network& net,
+                   std::initializer_list<std::pair<node_id, packet>> txs) {
+  round_buffer buf;
+  for (const auto& [from, pkt] : txs) buf.add_owned(from, pkt);
   observed o;
-  net.step(txs, [&](const reception& rx) {
+  net.step(buf, [&](const reception& rx) {
     o.what[rx.listener] = rx.what;
     if (rx.what == observation::message) o.from[rx.listener] = rx.from;
   });
@@ -81,8 +88,11 @@ TEST(Network, CollisionThenCleanRound) {
 TEST(Network, DoubleTransmitIsContractError) {
   const auto g = path(2);
   network net(g, {.collision_detection = true});
-  std::vector<network::tx> txs{{0, beacon(0)}, {0, beacon(0)}};
-  EXPECT_THROW(net.step(txs, nullptr), contract_error);
+  round_buffer txs;
+  const packet b = beacon(0);
+  txs.add(0, b);
+  txs.add(0, b);
+  EXPECT_THROW(net.step(txs, [](const reception&) {}), contract_error);
 }
 
 TEST(Network, StatsCount) {
@@ -102,9 +112,11 @@ TEST(Network, PacketContentRoundTrips) {
   network net(g, {.collision_detection = true});
   auto body = std::make_shared<packet_body>();
   body->data = {1, 2, 3};
-  packet p = packet::make_data(7, body);
+  const packet p = packet::make_data(7, body);
+  round_buffer txs;
+  txs.add(0, p);
   packet received;
-  net.step({{0, p}}, [&](const reception& rx) {
+  net.step(txs, [&](const reception& rx) {
     ASSERT_EQ(rx.what, observation::message);
     received = *rx.pkt;
   });
@@ -132,6 +144,32 @@ TEST(Network, EnergyAccounting) {
   EXPECT_EQ(net.energy()[1], 2);
   EXPECT_EQ(net.energy()[2], 0);
   EXPECT_EQ(net.max_energy(), 2);
+}
+
+TEST(Network, FlushTotalsOnDemandNeverDoubleCounts) {
+  const auto g = path(3);
+  const engine_totals before = network::process_totals();
+  {
+    network net(g, {.collision_detection = true});
+    run_round(net, {{1, beacon(1)}});
+    run_round(net, {});
+    net.advance(10);
+    // A live network publishes on demand...
+    net.flush_totals();
+    engine_totals t = network::process_totals();
+    EXPECT_EQ(t.stepped_rounds - before.stepped_rounds, 2);
+    EXPECT_EQ(t.skipped_rounds - before.skipped_rounds, 10);
+    // ...idempotently (only deltas since the last flush are added)...
+    net.flush_totals();
+    t = network::process_totals();
+    EXPECT_EQ(t.stepped_rounds - before.stepped_rounds, 2);
+    EXPECT_EQ(t.skipped_rounds - before.skipped_rounds, 10);
+    run_round(net, {{1, beacon(1)}});
+  }
+  // ...and the destructor flushes exactly the remainder.
+  const engine_totals t = network::process_totals();
+  EXPECT_EQ(t.stepped_rounds - before.stepped_rounds, 3);
+  EXPECT_EQ(t.skipped_rounds - before.skipped_rounds, 10);
 }
 
 TEST(RoundBuffer, FlyweightAndOwnedPacketsDeliver) {
@@ -177,27 +215,6 @@ TEST(RoundBuffer, ArenaSlotsAreStableAndRecycled) {
   EXPECT_EQ(net.stats().transmissions, 15);
 }
 
-TEST(RoundBuffer, MatchesLegacyVectorStep) {
-  const auto g = path(4);
-  network legacy_net(g, {.collision_detection = true});
-  network buf_net(g, {.collision_detection = true});
-  std::vector<network::tx> legacy{{0, beacon(0)}, {3, beacon(3)}};
-  round_buffer txs;
-  const packet b0 = beacon(0);
-  txs.add(0, b0);
-  txs.add_owned(3, beacon(3));
-  std::map<node_id, node_id> got_legacy, got_buf;
-  legacy_net.step(legacy, [&](const reception& rx) {
-    if (rx.what == observation::message) got_legacy[rx.listener] = rx.from;
-  });
-  buf_net.step(txs, [&](const reception& rx) {
-    if (rx.what == observation::message) got_buf[rx.listener] = rx.from;
-  });
-  EXPECT_EQ(got_legacy, got_buf);
-  EXPECT_EQ(legacy_net.stats().deliveries, buf_net.stats().deliveries);
-  EXPECT_EQ(legacy_net.energy(), buf_net.energy());
-}
-
 TEST(RoundBuffer, DoubleTransmitIsContractError) {
   const auto g = path(2);
   network net(g, {.collision_detection = true});
@@ -206,6 +223,148 @@ TEST(RoundBuffer, DoubleTransmitIsContractError) {
   txs.add(0, b);
   txs.add(0, b);
   EXPECT_THROW(net.step(txs, [](const reception&) {}), contract_error);
+}
+
+// --- intra-trial sharded walk --------------------------------------------
+//
+// Contract under test: the sharded walk (listener blocks owned by exactly
+// one walker each, dispatch in fixed block order) observes, delivers, and
+// counts exactly what the serial walk does — reception for reception, in
+// the same order — at every team size.
+
+/// Steps both networks through the same transmit list and asserts that the
+/// full reception sequence (listener, observation, sender) matches.
+void expect_same_round(network& serial, network& sharded,
+                       const round_buffer& txs) {
+  std::vector<std::tuple<node_id, observation, node_id>> a, b;
+  serial.step(txs, [&](const reception& rx) {
+    a.emplace_back(rx.listener, rx.what, rx.from);
+  });
+  sharded.step(txs, [&](const reception& rx) {
+    b.emplace_back(rx.listener, rx.what, rx.from);
+  });
+  ASSERT_EQ(a, b);
+}
+
+TEST(ShardedStep, MatchesSerialWalkOnRandomRounds) {
+  const std::size_t n = 700;
+  const auto g = graph::random_gnp_connected(n, 10.0 / static_cast<double>(n), 7);
+  network serial(g, {.collision_detection = true});
+  network sharded(g, {.collision_detection = true});
+  sharded.set_min_parallel_volume(0);  // every non-empty round goes parallel
+  sharded.enable_intra_trial(4);
+  ASSERT_EQ(sharded.intra_trial_threads(), 4u);
+
+  std::vector<packet> beacons;
+  beacons.reserve(n);
+  for (node_id v = 0; v < n; ++v) beacons.push_back(packet::make_beacon(v));
+  rng r(123);
+  round_buffer txs;
+  for (int round = 0; round < 40; ++round) {
+    txs.clear();
+    // Sweep densities from ~every-other-node to ~1/64 so rounds exercise
+    // collisions, clean deliveries, and empty neighborhoods.
+    const int e = 1 + round % 6;
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(e)) txs.add(v, beacons[v]);
+    expect_same_round(serial, sharded, txs);
+  }
+  EXPECT_EQ(serial.stats().transmissions, sharded.stats().transmissions);
+  EXPECT_EQ(serial.stats().deliveries, sharded.stats().deliveries);
+  EXPECT_EQ(serial.stats().collisions_observed,
+            sharded.stats().collisions_observed);
+  EXPECT_EQ(serial.energy(), sharded.energy());
+}
+
+TEST(ShardedStep, BoundaryListenersHearCollisionsIdentically) {
+  // A star-of-stars whose hubs straddle the degree-balanced block
+  // boundaries: every hub hears a collision assembled from transmitters
+  // that live in *other* blocks, so any cross-shard hit-word race or
+  // dropped slice would change what a boundary listener observes.
+  graph::graph::builder b(600);
+  for (node_id hub = 0; hub < 600; hub += 60)
+    for (node_id leaf = 1; leaf < 60; ++leaf) b.add_edge(hub, hub + leaf);
+  for (node_id hub = 0; hub < 540; hub += 60) b.add_edge(hub, hub + 60);
+  const auto g = std::move(b).build();
+
+  network serial(g, {.collision_detection = true});
+  network sharded(g, {.collision_detection = true});
+  sharded.set_min_parallel_volume(0);
+  sharded.enable_intra_trial(3);
+
+  std::vector<packet> beacons;
+  beacons.reserve(600);
+  for (node_id v = 0; v < 600; ++v) beacons.push_back(packet::make_beacon(v));
+  round_buffer txs;
+  // All leaves transmit: every hub observes a collision; then exactly one
+  // leaf per star transmits: every hub hears a clean message.
+  for (node_id v = 0; v < 600; ++v)
+    if (v % 60 != 0) txs.add(v, beacons[v]);
+  expect_same_round(serial, sharded, txs);
+  txs.clear();
+  for (node_id hub = 0; hub < 600; hub += 60) txs.add(hub + 7, beacons[hub + 7]);
+  expect_same_round(serial, sharded, txs);
+  EXPECT_EQ(serial.stats().deliveries, sharded.stats().deliveries);
+  EXPECT_EQ(serial.stats().collisions_observed,
+            sharded.stats().collisions_observed);
+}
+
+TEST(ShardedStep, TeamResizeAndVolumeFloor) {
+  const auto g = star(64);
+  network net(g, {.collision_detection = true});
+  EXPECT_EQ(net.intra_trial_threads(), 1u);  // default policy: serial
+  net.enable_intra_trial(2);
+  EXPECT_EQ(net.intra_trial_threads(), 2u);
+  // Below the volume floor the team idles and the serial walk runs — the
+  // round must still resolve normally.
+  run_round(net, {{1, beacon(1)}});
+  EXPECT_EQ(net.stats().deliveries, 1);
+  net.enable_intra_trial(1);
+  EXPECT_EQ(net.intra_trial_threads(), 1u);
+  run_round(net, {{2, beacon(2)}});
+  EXPECT_EQ(net.stats().deliveries, 2);
+}
+
+TEST(ShardedStep, ErasureDrawsAreShardCountInvariant) {
+  // The erasure RNG is consumed at dispatch, which runs in the canonical
+  // block order — so lossy-channel results must also be byte-identical
+  // across team sizes.
+  const std::size_t n = 400;
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 3);
+  const model m{.collision_detection = false,
+                .erasure_prob = 0.4,
+                .erasure_seed = 99};
+  network serial(g, m);
+  network sharded(g, m);
+  sharded.set_min_parallel_volume(0);
+  sharded.enable_intra_trial(4);
+
+  std::vector<packet> beacons;
+  beacons.reserve(n);
+  for (node_id v = 0; v < n; ++v) beacons.push_back(packet::make_beacon(v));
+  rng r(5);
+  round_buffer txs;
+  for (int round = 0; round < 30; ++round) {
+    txs.clear();
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(2)) txs.add(v, beacons[v]);
+    expect_same_round(serial, sharded, txs);
+  }
+  EXPECT_GT(serial.stats().erasures, 0);
+  EXPECT_EQ(serial.stats().erasures, sharded.stats().erasures);
+}
+
+TEST(ShardedStep, WorkerBudgetBorrowAndReturn) {
+  set_worker_budget(4);
+  EXPECT_EQ(worker_budget(), 4u);
+  EXPECT_EQ(borrow_workers(3), 3u);
+  EXPECT_EQ(borrow_workers(3), 1u);  // only one slot left
+  EXPECT_EQ(borrow_workers(1), 0u);  // exhausted
+  return_workers(2);
+  EXPECT_EQ(borrow_workers(5), 2u);
+  return_workers(4);
+  set_worker_budget(0);  // back to the hardware default
+  EXPECT_GE(worker_budget(), 1u);
 }
 
 TEST(CompletionTracker, Basics) {

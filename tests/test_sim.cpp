@@ -9,7 +9,9 @@
 
 #include "common/check.h"
 #include "core/api.h"
+#include "core/params.h"
 #include "graph/topology.h"
+#include "radio/network.h"
 #include "sim/cli.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
@@ -364,6 +366,78 @@ TEST(Experiment, DeclarativeMatchesHandWrittenTrial) {
   }
 }
 
+// The intra-trial backend's acceptance contract: a layered n = 10^4
+// scenario produces byte-identical results JSON whether the row walks run
+// serially or sharded across a 4-thread team (and at any trial-pool thread
+// count on top). The volume floor is lowered so even the sparse late-phase
+// rounds exercise the sharded path.
+TEST(Experiment, IntraTrialShardCountByteIdentity) {
+  experiment e;
+  e.id = "shards";
+  e.title = e.claim = e.profile = "n/a";
+  e.make_scenarios = [] {
+    scenario sc;
+    sc.label = "layered-1e4";
+    sc.topology = graph::parse_topology_spec(
+        "layered:depth=50,width=200,edge_prob=0.1");
+    sc.options.prm = core::params::fast();
+    sc.probes = {{"gst-known", "gst_known"}, {"decay", "decay"}};
+    return std::vector<scenario>{std::move(sc)};
+  };
+  run_config cfg;
+  cfg.trials = 2;
+  cfg.seed = 31;
+
+  const radio::intra_trial_policy saved = radio::get_intra_trial_policy();
+  std::vector<std::string> dumps;
+  for (const unsigned shards : {1u, 4u}) {
+    for (const unsigned threads : {1u, 2u}) {
+      radio::intra_trial_policy pol = saved;
+      pol.threads = shards;
+      pol.min_parallel_volume = 0;
+      radio::set_intra_trial_policy(pol);
+      cfg.threads = threads;
+      dumps.push_back(to_json(e, run_experiment(e, cfg)).dump(2));
+    }
+  }
+  radio::set_intra_trial_policy(saved);
+  for (std::size_t i = 1; i < dumps.size(); ++i)
+    EXPECT_EQ(dumps[0], dumps[i]) << "config " << i;
+}
+
+// Same contract one level down: the full broadcast_result — rounds,
+// completion, channel counters, and the whole per-node energy vector —
+// must match field for field between a serial and a sharded run.
+TEST(Experiment, IntraTrialShardedEnergyAndRoundsIdentical) {
+  auto spec = graph::parse_topology_spec(
+      "layered:depth=50,width=200,edge_prob=0.1");
+  spec.seed = 4242;
+  const graph::graph g = graph::build_topology(spec);
+  core::run_options opt;
+  opt.prm = core::params::fast();
+  opt.seed = 77;
+
+  const radio::intra_trial_policy saved = radio::get_intra_trial_policy();
+  std::vector<core::broadcast_outcome> outcomes;
+  for (const unsigned shards : {1u, 4u}) {
+    radio::intra_trial_policy pol = saved;
+    pol.threads = shards;
+    pol.min_parallel_volume = 0;
+    radio::set_intra_trial_policy(pol);
+    outcomes.push_back(core::run_broadcast(g, "decay", {0, 1}, opt));
+  }
+  radio::set_intra_trial_policy(saved);
+  const auto& a = outcomes[0].base;
+  const auto& b = outcomes[1].base;
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds_to_complete, b.rounds_to_complete);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.collisions_observed, b.collisions_observed);
+  EXPECT_EQ(a.energy, b.energy);
+}
+
 TEST(Experiment, UnknownProbeProtocolThrows) {
   experiment e;
   e.id = "bad";
@@ -410,14 +484,16 @@ TEST(Json, ObjectsPreserveInsertionOrder) {
 TEST(Cli, ParsesAllFlags) {
   const char* argv[] = {"bench_suite", "--experiment", "e1", "--trials", "64",
                         "--threads",   "8",            "--seed", "5",
-                        "--json",      "out.json"};
+                        "--json",      "out.json",
+                        "--intra-trial-threads", "4"};
   cli_options opt;
-  ASSERT_TRUE(parse_cli(11, const_cast<char**>(argv), opt));
+  ASSERT_TRUE(parse_cli(13, const_cast<char**>(argv), opt));
   EXPECT_EQ(opt.experiment, "e1");
   EXPECT_EQ(opt.trials, 64u);
   EXPECT_EQ(opt.threads, 8u);
   EXPECT_EQ(opt.seed, 5u);
   EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_EQ(opt.intra_trial_threads, 4u);
 }
 
 TEST(Cli, ParsesAdhocWorkloadFlags) {

@@ -70,7 +70,7 @@ def write_markdown(path, title, rows, verdict_line):
     fmt = lambda v: f"{v:.2f}" if v is not None else "-"
     with open(path, "a") as f:
         f.write(f"### perf compare: {title}\n\n")
-        f.write("| metric | base ms | cur ms | verdict |\n")
+        f.write("| metric | base | cur | verdict |\n")
         f.write("|---|---:|---:|---|\n")
         for name, b, c, verdict in rows:
             cell = verdict
@@ -123,9 +123,21 @@ def main():
             verdict = f"improved x{1 / ratio:.2f}"
         rows.append((name, b, c, verdict))
 
+    # The v2 sidecar's RSS high-water mark rides along in the same table (in
+    # MiB, not ms) so memory regressions are visible on the step summary —
+    # reported, never gated: RSS on shared CI runners is too noisy for a
+    # hard threshold.
+    if base_rss is not None or cur_rss is not None:
+        to_mib = lambda v: v / 1024.0 if v is not None else None
+        rss_verdict = "reported only, not gated"
+        if base_rss and cur_rss:
+            rss_verdict += f" (x{cur_rss / base_rss:.2f})"
+        rows.append(("suite/peak_rss_mib", to_mib(base_rss), to_mib(cur_rss),
+                     rss_verdict))
+
     width = max((len(r[0]) for r in rows), default=10)
     fmt_ms = lambda v: f"{v:10.2f}" if v is not None else "         -"
-    print(f"{'metric':<{width}}  {'base ms':>10}  {'cur ms':>10}  verdict")
+    print(f"{'metric':<{width}}  {'base':>10}  {'cur':>10}  verdict")
     for name, b, c, verdict in rows:
         print(f"{name:<{width}}  {fmt_ms(b)}  {fmt_ms(c)}  {verdict}")
 
