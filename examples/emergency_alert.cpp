@@ -21,7 +21,7 @@ int main() {
   std::printf("city mesh: %zu radios in 12 blocks, diameter %d\n\n",
               g.node_count(), graph::diameter(g));
 
-  core::run_options opt;
+  core::options opt;
   opt.seed = 9;
   opt.prm = core::params::fast();
 

@@ -20,7 +20,7 @@ int main() {
   std::printf("network %s: n=%zu, m=%zu edges\n\n", spec.to_string().c_str(),
               g.node_count(), g.edge_count());
 
-  core::run_options opt;
+  core::options opt;
   opt.seed = 42;
   opt.prm = core::params::fast();  // simulation-friendly Theta constants
 

@@ -23,7 +23,7 @@ int main() {
   const std::size_t k = 16;  // firmware chunks
   std::printf("firmware: %zu chunks of 32 bytes\n\n", k);
 
-  core::run_options opt;
+  core::options opt;
   opt.seed = 3;
   opt.prm = core::params::fast();
   opt.payload_size = 32;

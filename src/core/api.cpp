@@ -10,7 +10,7 @@ namespace rn::core {
 
 namespace {
 
-single_broadcast_options to_single_options(const run_options& opt) {
+single_broadcast_options to_single_options(const options& opt) {
   single_broadcast_options o;
   o.n_hat = opt.n_hat;
   o.d_hat = opt.d_hat;
@@ -20,7 +20,7 @@ single_broadcast_options to_single_options(const run_options& opt) {
   return o;
 }
 
-multi_broadcast_options to_multi_options(const run_options& opt) {
+multi_broadcast_options to_multi_options(const options& opt) {
   multi_broadcast_options o;
   o.n_hat = opt.n_hat;
   o.d_hat = opt.d_hat;
@@ -32,7 +32,7 @@ multi_broadcast_options to_multi_options(const run_options& opt) {
 }
 
 std::vector<coding::message> test_messages(const broadcast_workload& w,
-                                           const run_options& opt) {
+                                           const options& opt) {
   const std::uint64_t seed =
       opt.message_seed != 0 ? opt.message_seed : opt.seed ^ 0x5eedULL;
   return coding::make_test_messages(w.messages, opt.payload_size, seed);
@@ -56,7 +56,7 @@ protocol_registry& protocol_registry::instance() {
 protocol_registry::protocol_registry() {
   using g_t = const graph::graph&;
   using w_t = const broadcast_workload&;
-  using o_t = const run_options&;
+  using o_t = const options&;
   add({"decay", "BGI Decay baseline (single message)", false,
        [](g_t g, w_t w, o_t opt) {
          baseline::decay_options o;
@@ -115,7 +115,7 @@ protocol_registry::protocol_registry() {
 broadcast_outcome run_broadcast(const graph::graph& g,
                                 std::string_view protocol,
                                 const broadcast_workload& w,
-                                const run_options& opt) {
+                                const options& opt) {
   const auto* e = protocol_registry::instance().find(protocol);
   RN_REQUIRE(e != nullptr,
              "unknown protocol '" + std::string(protocol) + "' (known: " +

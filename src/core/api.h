@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/registry.h"
+#include "core/options.h"
 #include "core/params.h"
 #include "graph/graph.h"
 #include "radio/result.h"
@@ -28,21 +29,9 @@ struct broadcast_workload {
   std::size_t messages = 1;
 };
 
-struct run_options {
-  std::size_t n_hat = 0;
-  level_t d_hat = 0;
-  std::uint64_t seed = 1;
-  params prm = params::paper();
-  std::size_t payload_size = 32;
-  /// Seed for the generated test payloads of the RLNC protocols
-  /// (0 = derive from `seed`, the historical behavior).
-  std::uint64_t message_seed = 0;
-  /// Fast-forward transmitter-free rounds (bit-identical results). The
-  /// GST-based algorithms skip proven-idle schedule rounds; the Decay
-  /// baselines compute next-transmit rounds from their batched coin streams
-  /// and skip the calendar gaps (see baseline/decay.h).
-  bool fast_forward = false;
-};
+/// Deprecated alias from before the options struct grew its versioned
+/// canonical text form (core/options.h); new code names core::options.
+using run_options = options;
 
 /// Result of `run_broadcast`: the usual round/traffic counters plus the
 /// payload check of the coding protocols (always true for uncoded ones).
@@ -58,7 +47,7 @@ struct protocol_entry {
   bool multi_message = false;  ///< accepts workloads with messages > 1
   std::function<broadcast_outcome(const graph::graph&,
                                   const broadcast_workload&,
-                                  const run_options&)>
+                                  const options&)>
       run;
 };
 
@@ -89,6 +78,6 @@ class protocol_registry {
 [[nodiscard]] broadcast_outcome run_broadcast(const graph::graph& g,
                                               std::string_view protocol,
                                               const broadcast_workload& w,
-                                              const run_options& opt);
+                                              const options& opt);
 
 }  // namespace rn::core

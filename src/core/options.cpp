@@ -1,0 +1,144 @@
+#include "core/options.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rn::core {
+
+namespace {
+
+std::string format_value(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  RN_REQUIRE(ec == std::errc(), "unformattable option value");
+  return std::string(buf, ptr);
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+/// The canonical key set, in print order. Each key reads and writes one field
+/// through accessors so the print and parse sides can never drift apart.
+struct field {
+  std::string_view key;
+  bool integral;  ///< parse as u64 (size/seed fields) vs double (multipliers)
+  double (*get)(const options&);
+  void (*set)(options&, double num, std::uint64_t integer);
+};
+
+constexpr field kFields[] = {
+    {"n_hat", true, [](const options& o) { return static_cast<double>(o.n_hat); },
+     [](options& o, double, std::uint64_t i) { o.n_hat = static_cast<std::size_t>(i); }},
+    {"d_hat", true, [](const options& o) { return static_cast<double>(o.d_hat); },
+     [](options& o, double, std::uint64_t i) { o.d_hat = static_cast<level_t>(i); }},
+    {"payload_size", true,
+     [](const options& o) { return static_cast<double>(o.payload_size); },
+     [](options& o, double, std::uint64_t i) { o.payload_size = static_cast<std::size_t>(i); }},
+    {"message_seed", true,
+     [](const options& o) { return static_cast<double>(o.message_seed); },
+     [](options& o, double, std::uint64_t i) { o.message_seed = i; }},
+    {"decay_phase_mult", false,
+     [](const options& o) { return o.prm.decay_phase_mult; },
+     [](options& o, double v, std::uint64_t) { o.prm.decay_phase_mult = v; }},
+    {"recruit_iter_mult", false,
+     [](const options& o) { return o.prm.recruit_iter_mult; },
+     [](options& o, double v, std::uint64_t) { o.prm.recruit_iter_mult = v; }},
+    {"recruit_exp_step_mult", false,
+     [](const options& o) { return o.prm.recruit_exp_step_mult; },
+     [](options& o, double v, std::uint64_t) { o.prm.recruit_exp_step_mult = v; }},
+    {"epoch_mult", false, [](const options& o) { return o.prm.epoch_mult; },
+     [](options& o, double v, std::uint64_t) { o.prm.epoch_mult = v; }},
+    {"schedule_slack", false,
+     [](const options& o) { return o.prm.schedule_slack; },
+     [](options& o, double v, std::uint64_t) { o.prm.schedule_slack = v; }},
+    {"fec_overhead", false, [](const options& o) { return o.prm.fec_overhead; },
+     [](options& o, double v, std::uint64_t) { o.prm.fec_overhead = v; }},
+    {"ring_divisor", false, [](const options& o) { return o.prm.ring_divisor; },
+     [](options& o, double v, std::uint64_t) { o.prm.ring_divisor = v; }},
+};
+
+}  // namespace
+
+std::string options::to_string() const {
+  const options defaults;
+  std::string out{version};
+  bool first = true;
+  for (const field& f : kFields) {
+    if (f.get(*this) == f.get(defaults)) continue;
+    out += first ? ":" : ",";
+    first = false;
+    out += f.key;
+    out += "=";
+    if (f.integral && f.key == "message_seed") {
+      // Full 64-bit precision: seeds are not representable as doubles.
+      out += std::to_string(message_seed);
+    } else {
+      out += format_value(f.get(*this));
+    }
+  }
+  return out;
+}
+
+options parse_options(std::string_view text) {
+  RN_REQUIRE(!text.empty(), "empty options string");
+  const std::size_t colon = text.find(':');
+  const std::string_view tag = text.substr(0, colon);
+  RN_REQUIRE(tag == options::version,
+             "unknown options version '" + std::string(tag) + "' (this build"
+             " speaks " + std::string(options::version) + ")");
+  options out;
+  if (colon == std::string_view::npos) return out;
+  std::string_view rest = text.substr(colon + 1);
+  RN_REQUIRE(!rest.empty(), "options string has a ':' but no keys: " +
+                                std::string(text));
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    RN_REQUIRE(eq != std::string_view::npos && eq > 0,
+               "bad option (want key=value): " + std::string(item));
+    const std::string_view key = item.substr(0, eq);
+    const std::string value(item.substr(eq + 1));
+    const field* found = nullptr;
+    for (const field& f : kFields)
+      if (f.key == key) found = &f;
+    RN_REQUIRE(found != nullptr,
+               "unknown option key '" + std::string(key) + "'");
+    if (found->integral) {
+      std::uint64_t v = 0;
+      RN_REQUIRE(parse_u64(value, v),
+                 "bad integer value for option '" + std::string(key) +
+                     "': " + value);
+      found->set(out, static_cast<double>(v), v);
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      RN_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                 "bad numeric value for option '" + std::string(key) +
+                     "': " + value);
+      found->set(out, v, 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace rn::core

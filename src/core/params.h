@@ -8,11 +8,26 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "common/math.h"
 #include "common/types.h"
 
 namespace rn::core {
+
+/// The lossy-channel contract, versioned so erasure-sensitive results can
+/// name the draw mapping they were produced under. `channel-v1` is the PR 5
+/// block-major mapping: the node-id space is partitioned into
+/// `kChannelContractBlocks` contiguous listener blocks balanced by adjacency
+/// volume, receptions are dispatched block by block in ascending order (and
+/// within a block in the serial row walk's first-touch order), and the
+/// erasure RNG draws one Bernoulli per single-transmitter reception *in that
+/// dispatch order*. Changing the block count, the dispatch order, or the
+/// per-reception draw discipline re-baselines every erasure_prob > 0 result
+/// and therefore requires a new contract version — never a silent edit
+/// (tests/test_channel_contract.cpp pins exact draw outcomes).
+inline constexpr std::string_view kChannelContract = "channel-v1";
+inline constexpr unsigned kChannelContractBlocks = 32;
 
 struct params {
   /// Phases per "Theta(log n) phases of Decay" (each phase has L+1 rounds).
@@ -70,6 +85,8 @@ struct params {
   [[nodiscard]] int epochs(std::size_t n_hat) const {
     return at_least_one(epoch_mult * log_range(n_hat));
   }
+
+  friend bool operator==(const params&, const params&) = default;
 
  private:
   [[nodiscard]] static int at_least_one(double v) {

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "core/api.h"
 #include "graph/topology.h"
+#include "sim/adhoc.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
 
@@ -43,6 +44,9 @@ void print_usage(std::ostream& os, const char* prog) {
      << "  --sweep           PARAM=V1,V2,...: one scenario per value,\n"
      << "                    overriding PARAM of the --topology spec\n"
      << "  --messages        ad-hoc workload message count (default 1)\n"
+     << "  --options         canonical run options opt-v1:key=value,... for\n"
+     << "                    the ad-hoc workload (default: fast profile);\n"
+     << "                    captures every determinism-relevant input\n"
      << "  --json            also write machine-readable results to PATH\n"
      << "  --timing          write a wall-clock/engine sidecar JSON to PATH\n"
      << "                    (results are mode- and thread-independent; only\n"
@@ -66,87 +70,16 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
   return true;
 }
 
-std::vector<std::string> split_commas(std::string_view s) {
-  std::vector<std::string> out;
-  while (!s.empty()) {
-    const std::size_t comma = s.find(',');
-    out.emplace_back(s.substr(0, comma));
-    s = comma == std::string_view::npos ? std::string_view{}
-                                        : s.substr(comma + 1);
-  }
-  return out;
-}
-
-/// Builds the synthetic "adhoc" experiment for --topology/--protocol/--sweep.
-/// Everything is validated here, so errors surface before any trial runs.
-experiment make_adhoc_experiment(const cli_options& opt) {
-  const graph::topology_spec base = graph::parse_topology_spec(opt.topology);
-  RN_REQUIRE(graph::topology_registry::instance().find(base.kind) != nullptr,
-             "unknown topology kind '" + base.kind + "' (try --list)");
-
-  std::vector<std::string> protocol_ids =
-      split_commas(opt.protocols.empty() ? "decay" : opt.protocols);
-  for (const auto& id : protocol_ids) {
-    const auto* p = core::protocol_registry::instance().find(id);
-    RN_REQUIRE(p != nullptr, "unknown protocol '" + id + "' (try --list)");
-    RN_REQUIRE(opt.messages == 1 || p->multi_message,
-               "protocol '" + id + "' is single-message; drop it or use"
-               " --messages 1");
-  }
-
-  std::string sweep_param;
-  std::vector<double> sweep_values;
-  if (!opt.sweep.empty()) {
-    const std::size_t eq = opt.sweep.find('=');
-    RN_REQUIRE(eq != std::string::npos && eq > 0,
-               "bad --sweep (want PARAM=V1,V2,...): " + opt.sweep);
-    sweep_param = opt.sweep.substr(0, eq);
-    for (const auto& v : split_commas(std::string_view(opt.sweep).substr(eq + 1))) {
-      // Reuse the spec grammar ("x:param=value") so --sweep values parse
-      // exactly like topology parameters.
-      const auto one =
-          graph::parse_topology_spec("x:" + sweep_param + "=" + v);
-      sweep_values.push_back(one.param(sweep_param, 0.0));
-    }
-    RN_REQUIRE(!sweep_values.empty(), "empty --sweep value list");
-  }
-
-  experiment e;
-  e.id = "adhoc";
-  e.title = "ad-hoc workload: " + base.to_string();
-  e.claim = "(user-defined workload; no registered paper claim)";
-  e.profile = "fast";
-  e.default_trials = 8;
-  e.make_scenarios = [base, protocol_ids, sweep_param, sweep_values,
-                      messages = opt.messages] {
-    std::vector<scenario> out;
-    const std::size_t points =
-        sweep_values.empty() ? 1 : sweep_values.size();
-    for (std::size_t i = 0; i < points; ++i) {
-      scenario sc;
-      sc.topology = base;
-      if (!sweep_values.empty()) {
-        sc.topology.set_param(sweep_param, sweep_values[i]);
-        // "x:param=value" with the canonical value formatting, minus "x:".
-        sc.label = graph::topology_spec{"x", {{sweep_param, sweep_values[i]}}}
-                       .to_string()
-                       .substr(2);
-        sc.params = {{sweep_param, sweep_values[i]}};
-      } else {
-        sc.label = base.kind;
-      }
-      sc.workload.messages = messages;
-      sc.options.prm = core::params::fast();
-      for (const auto& id : protocol_ids) sc.probes.push_back({id, id});
-      out.push_back(std::move(sc));
-    }
-    return out;
-  };
-  // One dry build of the first scenario (base spec + sweep param): a
-  // mistyped parameter name fails here, before any trial runs. Later sweep
-  // points only change this parameter's value, so one build checks them all.
-  static_cast<void>(graph::build_topology(e.make_scenarios().front().topology));
-  return e;
+/// The shared ad-hoc builder's spec for --topology/--protocol/--sweep (the
+/// broadcast service assembles the same struct from request JSON).
+adhoc_spec to_adhoc_spec(const cli_options& opt) {
+  adhoc_spec spec;
+  spec.topology = opt.topology;
+  spec.protocols = opt.protocols;
+  spec.sweep = opt.sweep;
+  spec.messages = opt.messages;
+  spec.options = opt.options;
+  return spec;
 }
 
 }  // namespace
@@ -189,6 +122,10 @@ bool parse_cli(int argc, char** argv, cli_options& out) {
       const char* v = value(arg);
       if (v == nullptr) return false;
       out.sweep = v;
+    } else if (arg == "--options") {
+      const char* v = value(arg);
+      if (v == nullptr) return false;
+      out.options = v;
     } else if (arg == "--no-fast-forward") {
       out.no_fast_forward = true;
     } else if (arg == "--trials" || arg == "-t" || arg == "--threads" ||
@@ -263,9 +200,10 @@ int run_suite(int argc, char** argv) {
   }
 
   if (opt.topology.empty() &&
-      (!opt.protocols.empty() || !opt.sweep.empty() || opt.messages != 1)) {
-    std::cerr << "--protocol/--sweep/--messages define an ad-hoc workload"
-                 " and require --topology\n";
+      (!opt.protocols.empty() || !opt.sweep.empty() || opt.messages != 1 ||
+       !opt.options.empty())) {
+    std::cerr << "--protocol/--sweep/--messages/--options define an ad-hoc"
+                 " workload and require --topology\n";
     return 2;
   }
 
@@ -278,7 +216,7 @@ int run_suite(int argc, char** argv) {
       return 2;
     }
     try {
-      adhoc = make_adhoc_experiment(opt);
+      adhoc = make_adhoc_experiment(to_adhoc_spec(opt));
     } catch (const std::exception& ex) {
       std::cerr << ex.what() << "\n";
       return 2;
@@ -318,12 +256,17 @@ int run_suite(int argc, char** argv) {
   json_value all = json_value::array();
   json_value timing_rows = json_value::array();
   double total_wall_ms = 0.0;
+  // Per-run RSS peaks need kernel support for high-water-mark resets; when
+  // absent the per-experiment field falls back to the monotone process peak
+  // (the pre-v3 behavior) and the sidecar says so.
+  bool rss_resets = true;
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const experiment* e = selected[i];
     run_config cfg;
     cfg.trials = opt.trials != 0 ? opt.trials : e->default_trials;
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
+    if (!opt.timing_path.empty()) rss_resets = reset_peak_rss() && rss_resets;
     const engine_snapshot before = engine_counters();
     const shard_snapshot shards_before = shard_counters();
     const auto t0 = std::chrono::steady_clock::now();
@@ -370,7 +313,9 @@ int run_suite(int argc, char** argv) {
         shard_ms.push_back((shards_after.busy_ns[s] - prev) / 1e6);
       }
       row["shard_busy_ms"] = std::move(shard_ms);
-      // Monotone high-water mark up to and including this experiment.
+      // This experiment's own peak (high-water mark since the reset above);
+      // falls back to the monotone process maximum where resets are
+      // unsupported — see "rss_resets" at the top level.
       row["peak_rss_kb"] = peak_rss_kb();
       timing_rows.push_back(std::move(row));
     }
@@ -387,7 +332,10 @@ int run_suite(int argc, char** argv) {
   }
   if (!opt.timing_path.empty()) {
     json_value timing = json_value::object();
-    timing["schema"] = "rn-bench-timing-v2";
+    // v3: per-experiment peak_rss_kb became a per-run high-water mark (reset
+    // between experiments); the top-level field stays the monotone process
+    // maximum, and rss_resets records whether the kernel honored the resets.
+    timing["schema"] = "rn-bench-timing-v3";
     timing["fast_forward"] = !opt.no_fast_forward;
     timing["seed"] = opt.seed;
     // 0 = hardware concurrency
@@ -395,9 +343,10 @@ int run_suite(int argc, char** argv) {
     // 0 = auto (node-count threshold + borrowed pool capacity)
     timing["intra_trial_threads"] =
         static_cast<std::uint64_t>(opt.intra_trial_threads);
+    timing["rss_resets"] = rss_resets;
     timing["experiments"] = std::move(timing_rows);
     timing["total_wall_ms"] = total_wall_ms;
-    timing["peak_rss_kb"] = peak_rss_kb();
+    timing["peak_rss_kb"] = process_peak_rss_kb();
     std::ofstream out(opt.timing_path);
     if (!out) {
       std::cerr << "cannot write " << opt.timing_path << "\n";

@@ -23,9 +23,12 @@ struct cli_options {
   unsigned intra_trial_threads = 0;
   std::uint64_t seed = 1;
   std::string json_path;     ///< empty = no JSON output
-  /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v2).
-  /// Kept separate from --json so result files stay byte-identical across
-  /// thread counts and execution modes; the CI perf gate trends this file.
+  /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v3:
+  /// per-experiment peak_rss_kb is a per-run high-water mark where the
+  /// kernel supports resets, with the process-lifetime maximum kept at the
+  /// top level). Kept separate from --json so result files stay
+  /// byte-identical across thread counts and execution modes; the CI perf
+  /// gate trends this file.
   std::string timing_path;
   /// Disable fast-forward execution (cross-check mode: identical results,
   /// every protocol round resolved on the channel).
@@ -37,6 +40,9 @@ struct cli_options {
   std::string protocols;     ///< default "decay" when --topology is given
   std::string sweep;
   std::size_t messages = 1;  ///< workload message count for ad-hoc runs
+  /// Canonical core::options string ("opt-v1:key=value,...") for ad-hoc
+  /// runs; empty = the historical ad-hoc default (fast constants profile).
+  std::string options;
   bool list = false;
   bool help = false;
 };

@@ -41,8 +41,26 @@ using shard_snapshot = radio::shard_totals;
 [[nodiscard]] shard_snapshot shard_counters();
 
 /// Peak resident-set size of this process in kilobytes (0 where the platform
-/// offers no getrusage). Monotone; recorded in the bench timing sidecar so
-/// the perf trajectory tracks per-trial memory alongside wall-clock.
+/// offers neither /proc nor getrusage). High-water mark since process start
+/// *or since the last successful reset_peak_rss()* — the bench sidecar and
+/// the service daemon reset between runs so each run reports its own peak
+/// rather than the process-lifetime maximum.
 [[nodiscard]] std::int64_t peak_rss_kb();
+
+/// Best-effort reset of the kernel's peak-RSS accounting (Linux:
+/// `echo 5 > /proc/self/clear_refs`). Returns false where unsupported, in
+/// which case peak_rss_kb() remains a process-lifetime maximum. The
+/// pre-reset peak is folded into process_peak_rss_kb() first, so the
+/// monotone high-water mark never loses history.
+bool reset_peak_rss();
+
+/// Current resident-set size in kilobytes (Linux VmRSS; 0 where
+/// unsupported). A gauge — the service exports it alongside the peaks.
+[[nodiscard]] std::int64_t current_rss_kb();
+
+/// Monotone process-lifetime peak RSS in kilobytes: the maximum
+/// peak_rss_kb() ever observed, immune to reset_peak_rss(). This is the
+/// number the top-level sidecar field and cross-run memory trending use.
+[[nodiscard]] std::int64_t process_peak_rss_kb();
 
 }  // namespace rn::sim

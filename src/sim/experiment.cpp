@@ -49,7 +49,7 @@ trial_fn make_trial(const scenario& sc) {
     const graph::graph g = graph::build_topology(spec);
     metrics m;
     for (const auto& p : probes) {
-      core::run_options opt = options;
+      core::options opt = options;
       opt.fast_forward = use_fast_forward();
       opt.seed = r();
       if (p.payload_size != 0) opt.payload_size = p.payload_size;

@@ -64,7 +64,7 @@ struct scenario {
   /// drawn from the trial rng) and every probe runs on it.
   graph::topology_spec topology;
   core::broadcast_workload workload;  ///< source + message count
-  core::run_options options;          ///< seed/fast_forward set per probe
+  core::options options;          ///< seed/fast_forward set per probe
   std::vector<protocol_probe> probes;
   /// Escape hatch: when set, it replaces the declarative fields entirely
   /// (construction experiments, coding-layer measurements, noise models).

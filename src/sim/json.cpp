@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -112,6 +113,211 @@ std::string json_value::dump(int indent) const {
   std::ostringstream os;
   write(os, indent, 0);
   return os.str();
+}
+
+const json_value* json_value::find(std::string_view key) const {
+  if (kind_ != kind::object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::size_t json_value::size() const {
+  if (kind_ == kind::array) return arr_.size();
+  if (kind_ == kind::object) return obj_.size();
+  return 0;
+}
+
+const json_value& json_value::at(std::size_t i) const {
+  RN_REQUIRE(kind_ == kind::array && i < arr_.size(),
+             "json at() out of range or on non-array");
+  return arr_[i];
+}
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view (no streaming: service
+/// requests are one line each).
+class json_reader {
+ public:
+  explicit json_reader(std::string_view text) : text_(text) {}
+
+  json_value read_document() {
+    json_value v = read_value();
+    skip_ws();
+    RN_REQUIRE(pos_ == text_.size(),
+               "trailing bytes after JSON value at offset " +
+                   std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw contract_error("bad JSON at offset " + std::to_string(pos_) + ": " +
+                         what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  json_value read_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return read_object();
+      case '[': return read_array();
+      case '"': return json_value(read_string());
+      case 't':
+        if (consume_literal("true")) return json_value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return json_value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return json_value();
+        fail("bad literal");
+      default: return read_number();
+    }
+  }
+
+  json_value read_object() {
+    expect('{');
+    json_value obj = json_value::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      const std::string key = read_string();
+      expect(':');
+      obj[key] = read_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  json_value read_array() {
+    expect('[');
+    json_value arr = json_value::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(read_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // paired up — the writer never emits them for this repo's ASCII
+          // payloads, and lone surrogates round-trip as 3-byte sequences).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  json_value read_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (num.empty() || end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("bad number");
+    }
+    return json_value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value parse_json(std::string_view text) {
+  return json_reader(text).read_document();
 }
 
 }  // namespace rn::sim

@@ -1,9 +1,12 @@
-// Minimal JSON document builder for machine-readable experiment output.
+// Minimal JSON document model for machine-readable experiment output and
+// the broadcast service's request/response lines.
 //
 // Deliberately tiny: ordered objects (insertion order is preserved so output
 // is deterministic and diffable), doubles printed as integers when integral,
-// %.17g (round-trip exact) otherwise. Writing only — the repo has no JSON
-// inputs.
+// %.17g (round-trip exact) otherwise. `parse_json` covers the full value
+// grammar (the service reads newline-delimited request objects with it);
+// numbers are doubles, so 64-bit identifiers above 2^53 should travel as
+// strings.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +52,30 @@ class json_value {
   /// Object field access: inserts a null field if absent (requires object).
   json_value& operator[](std::string_view key);
 
+  // --- read access (the service's request-parsing side) ---
+
+  /// Object field lookup: nullptr when absent or when this is not an object.
+  [[nodiscard]] const json_value* find(std::string_view key) const;
+  /// Element count of an array or object; 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+  /// Array element access (requires array kind and i < size()).
+  [[nodiscard]] const json_value& at(std::size_t i) const;
+
+  [[nodiscard]] bool is_null() const { return kind_ == kind::null; }
+  /// Typed reads with a fallback for absent/mistyped values. A field that is
+  /// present but of the wrong type reads as the fallback — callers that need
+  /// to distinguish use find() + type().
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind_ == kind::boolean ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0) const {
+    return kind_ == kind::number ? num_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string empty;
+    return kind_ == kind::string ? str_ : empty;
+  }
+
   /// Serializes compactly when indent == 0, pretty-printed otherwise.
   void dump(std::ostream& os, int indent = 0) const;
   [[nodiscard]] std::string dump(int indent = 0) const;
@@ -65,5 +92,9 @@ class json_value {
   static void write_escaped(std::ostream& os, std::string_view s);
   static void write_number(std::ostream& os, double v);
 };
+
+/// Parses one JSON value (the whole input must be consumed, modulo
+/// whitespace). Throws contract_error with a byte offset on syntax errors.
+[[nodiscard]] json_value parse_json(std::string_view text);
 
 }  // namespace rn::sim

@@ -1,0 +1,54 @@
+// LRU result cache for the broadcast service.
+//
+// Keys are canonical run keys (sim::canonical_run_key — every
+// determinism-relevant input of a run, plus trials and seed); values are the
+// finished rn-bench-v2 payload *bytes*. Storing the rendered string rather
+// than the result object is what makes the cache-hit contract trivial to
+// uphold: a hit returns exactly the bytes the batch path produced, because
+// they are the same bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rn::svc {
+
+class result_cache {
+ public:
+  /// `capacity` = maximum resident entries (>= 1); the least recently used
+  /// entry is evicted on overflow.
+  explicit result_cache(std::size_t capacity);
+
+  /// Returns the cached payload and marks the entry most recently used.
+  /// Counts a hit or a miss; thread-safe.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`. Two concurrent computations of the same
+  /// key both insert the same bytes (results are deterministic), so
+  /// last-writer-wins is benign.
+  void put(const std::string& key, std::string payload);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::int64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::int64_t misses() const { return misses_.load(); }
+  [[nodiscard]] std::int64_t evictions() const { return evictions_.load(); }
+
+ private:
+  using entry = std::pair<std::string, std::string>;  ///< key, payload
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<entry>::iterator> index_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace rn::svc

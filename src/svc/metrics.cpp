@@ -1,0 +1,84 @@
+#include "svc/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rn::svc {
+
+namespace {
+
+bool legal_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+void append_value(std::string& out, double v) {
+  if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+counter& metrics_registry::add_counter(std::string name, std::string help) {
+  RN_REQUIRE(legal_metric_name(name), "bad metric name: " + name);
+  for (const auto& m : metrics_)
+    RN_REQUIRE(m.name != name, "duplicate metric name: " + name);
+  metric m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.is_counter = true;
+  m.count = std::make_unique<counter>();
+  metrics_.push_back(std::move(m));
+  return *metrics_.back().count;
+}
+
+void metrics_registry::add_gauge(std::string name, std::string help,
+                                 std::function<double()> read) {
+  RN_REQUIRE(legal_metric_name(name), "bad metric name: " + name);
+  RN_REQUIRE(static_cast<bool>(read), "gauge has no reader: " + name);
+  for (const auto& m : metrics_)
+    RN_REQUIRE(m.name != name, "duplicate metric name: " + name);
+  metric m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.is_counter = false;
+  m.read = std::move(read);
+  metrics_.push_back(std::move(m));
+}
+
+void metrics_registry::add_counter_fn(std::string name, std::string help,
+                                      std::function<double()> read) {
+  add_gauge(std::move(name), std::move(help), std::move(read));
+  metrics_.back().is_counter = true;
+}
+
+std::string metrics_registry::render() const {
+  std::string out;
+  for (const auto& m : metrics_) {
+    out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + (m.is_counter ? " counter\n" : " gauge\n");
+    out += m.name + " ";
+    // Owned-atomic counters read `count`; callback counters and gauges
+    // read their scrape function.
+    append_value(out, m.count != nullptr ? static_cast<double>(m.count->value())
+                                         : m.read());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rn::svc

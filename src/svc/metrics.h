@@ -1,0 +1,69 @@
+// Prometheus-text metrics for the broadcast service.
+//
+// A tiny label-free exposition-format registry: counters are owned
+// monotone atomics, gauges are read-at-scrape callbacks (so queue depth,
+// RSS, and engine totals are sampled exactly when /metrics is rendered).
+// `render()` emits the standard text format:
+//
+//   # HELP rn_requests_total Total request lines accepted.
+//   # TYPE rn_requests_total counter
+//   rn_requests_total 42
+//
+// which `promtool check metrics` and any Prometheus scraper accept. The
+// registry is intentionally minimal — no labels, no histograms — because the
+// service's whole surface fits in counters and gauges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rn::svc {
+
+/// Monotone counter (Prometheus "counter" type).
+class counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class metrics_registry {
+ public:
+  /// Registers a counter; the returned reference lives as long as the
+  /// registry. Names must be unique and Prometheus-legal ([a-zA-Z_:][a-zA-Z0-9_:]*).
+  counter& add_counter(std::string name, std::string help);
+
+  /// Registers a gauge whose value is read by `read` at every render.
+  void add_gauge(std::string name, std::string help,
+                 std::function<double()> read);
+
+  /// Registers a counter whose (monotone) value lives elsewhere and is read
+  /// by `read` at every render — e.g. the result cache's hit total or the
+  /// radio engine's process-wide round counters.
+  void add_counter_fn(std::string name, std::string help,
+                      std::function<double()> read);
+
+  /// Prometheus text exposition of every registered metric, in registration
+  /// order.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct metric {
+    std::string name;
+    std::string help;
+    bool is_counter;
+    std::unique_ptr<counter> count;    ///< counters
+    std::function<double()> read;      ///< gauges
+  };
+  std::vector<metric> metrics_;
+};
+
+}  // namespace rn::svc

@@ -1,0 +1,99 @@
+#include "svc/request.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rn::svc {
+
+namespace {
+
+/// Reads an optional non-negative integer field; rejects mistyped or
+/// fractional values instead of silently defaulting them.
+std::uint64_t integer_field(const sim::json_value& obj, const char* key,
+                            std::uint64_t fallback) {
+  const sim::json_value* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  RN_REQUIRE(v->type() == sim::json_value::kind::number,
+             std::string("request field '") + key + "' must be a number");
+  const double d = v->as_number();
+  RN_REQUIRE(d >= 0 && d == std::floor(d) && d < 9e15,
+             std::string("request field '") + key +
+                 "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string string_field(const sim::json_value& obj, const char* key) {
+  const sim::json_value* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return {};
+  RN_REQUIRE(v->type() == sim::json_value::kind::string,
+             std::string("request field '") + key + "' must be a string");
+  return v->as_string();
+}
+
+}  // namespace
+
+request parse_request(const std::string& line) {
+  const sim::json_value doc = sim::parse_json(line);
+  RN_REQUIRE(doc.type() == sim::json_value::kind::object,
+             "request line must be a JSON object");
+  request req;
+  req.id = integer_field(doc, "id", 0);
+
+  const std::string m = string_field(doc, "method");
+  if (m == "run" || m.empty()) {
+    // "run" is the default method so the common case stays terse.
+    req.what = method::run;
+  } else if (m == "metrics") {
+    req.what = method::metrics;
+  } else if (m == "list") {
+    req.what = method::list;
+  } else if (m == "shutdown") {
+    req.what = method::shutdown;
+  } else {
+    RN_REQUIRE(false, "unknown method '" + m +
+                          "' (known: run, metrics, list, shutdown)");
+  }
+  if (req.what != method::run) return req;
+
+  req.experiment = string_field(doc, "experiment");
+  req.adhoc.topology = string_field(doc, "topology");
+  req.adhoc.protocols = string_field(doc, "protocols");
+  req.adhoc.sweep = string_field(doc, "sweep");
+  req.adhoc.options = string_field(doc, "options");
+  req.adhoc.messages =
+      static_cast<std::size_t>(integer_field(doc, "messages", 1));
+  req.trials = static_cast<std::size_t>(integer_field(doc, "trials", 0));
+  req.seed = integer_field(doc, "seed", 1);
+  const sim::json_value* prio = doc.find("priority");
+  if (prio != nullptr && !prio->is_null()) {
+    RN_REQUIRE(prio->type() == sim::json_value::kind::number &&
+                   prio->as_number() == std::floor(prio->as_number()),
+               "request field 'priority' must be an integer");
+    req.priority = static_cast<int>(prio->as_number());
+  }
+
+  RN_REQUIRE(req.experiment.empty() != req.adhoc.topology.empty(),
+             "a run request names exactly one of 'experiment' or 'topology'");
+  RN_REQUIRE(req.adhoc.messages >= 1, "messages must be >= 1");
+  return req;
+}
+
+std::string error_response(std::uint64_t id, const char* code,
+                           const std::string& message) {
+  sim::json_value out = sim::json_value::object();
+  out["id"] = id;
+  out["status"] = "error";
+  out["code"] = code;
+  out["error"] = message;
+  return out.dump();
+}
+
+sim::json_value ok_response(std::uint64_t id) {
+  sim::json_value out = sim::json_value::object();
+  out["id"] = id;
+  out["status"] = "ok";
+  return out;
+}
+
+}  // namespace rn::svc

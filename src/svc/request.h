@@ -1,0 +1,66 @@
+// Request/response model of the broadcast service (one JSON object per line).
+//
+// Request grammar (newline-delimited JSON over a local socket or a pipe):
+//
+//   {"id": 1, "method": "run", "topology": "layered:depth=12,width=8",
+//    "protocols": "decay,gst-known", "sweep": "width=4,8", "messages": 1,
+//    "options": "opt-v1:schedule_slack=2", "trials": 8, "seed": 1,
+//    "priority": 0}
+//   {"id": 2, "method": "run", "experiment": "e1", "trials": 2, "seed": 1}
+//   {"id": 3, "method": "metrics"}
+//   {"id": 4, "method": "list"}
+//   {"id": 5, "method": "shutdown"}
+//
+// A "run" request names either a registered experiment (`experiment`) or an
+// ad-hoc declarative workload (`topology` + friends — the exact
+// `bench_suite --topology` surface, validated through the same registries).
+// Responses echo the id and carry `"status": "ok"` or `"status": "error"`
+// with a machine-readable `code` — a malformed or invalid request is always
+// a structured error line, never a crash or a silently defaulted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/adhoc.h"
+#include "sim/json.h"
+
+namespace rn::svc {
+
+enum class method : std::uint8_t { run, metrics, list, shutdown };
+
+struct request {
+  std::uint64_t id = 0;
+  method what = method::run;
+  /// Registered experiment id; empty = ad-hoc (then `adhoc.topology` must be
+  /// set).
+  std::string experiment;
+  sim::adhoc_spec adhoc;
+  std::size_t trials = 0;  ///< 0 = the experiment's default_trials
+  std::uint64_t seed = 1;
+  /// Higher runs first; ties run in arrival order.
+  int priority = 0;
+};
+
+/// Machine-readable error classes (the `code` field of error responses).
+inline constexpr const char* kBadJson = "bad-json";        ///< line is not a JSON object
+inline constexpr const char* kBadRequest = "bad-request";  ///< invalid method/spec/params
+inline constexpr const char* kOverBudget = "over-budget";  ///< trials above the server cap
+inline constexpr const char* kRunFailed = "run-failed";    ///< execution-time failure
+
+/// Parses and shape-checks one request line. Throws contract_error on
+/// malformed JSON, a missing/unknown method, or mistyped fields. Registry
+/// validation (unknown topology kind, protocol id, parameter names) happens
+/// later, in service::submit, so its errors also come back as structured
+/// responses.
+[[nodiscard]] request parse_request(const std::string& line);
+
+/// One-line error response: {"id":..,"status":"error","code":..,"error":..}.
+[[nodiscard]] std::string error_response(std::uint64_t id, const char* code,
+                                         const std::string& message);
+
+/// Shared header of every ok response ({"id":..,"status":"ok"}); callers
+/// append method-specific fields before dumping.
+[[nodiscard]] sim::json_value ok_response(std::uint64_t id);
+
+}  // namespace rn::svc

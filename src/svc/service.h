@@ -1,0 +1,115 @@
+// Broadcast-as-a-service: the resident scheduler behind rn_serve.
+//
+// A `service` owns a small worker pool, an LRU result cache, and a metrics
+// registry. Transports (stdin pipe, Unix socket, the test harness) feed it
+// request lines via `submit(line, respond)`; every line produces exactly one
+// response line through `respond`, synchronously for metrics/list/shutdown
+// and from a worker thread for runs.
+//
+// Scheduling: run requests are validated through the topology/protocol
+// registries at submit time (invalid specs answer immediately with a
+// structured error, nothing is enqueued), then sit in a priority queue
+// ordered by (priority desc, arrival asc) until a worker picks them up.
+//
+// Caching: completed runs are stored as their *rendered payload bytes* —
+// the exact `bench_suite --json` file contents (a pretty-printed array of
+// one experiment object plus trailing newline) — keyed by the canonical
+// run key (see sim/adhoc.h). A cache hit therefore returns byte-identical
+// output to the batch path by construction; determinism of the engine
+// (results independent of threads/fast-forward) is what makes the key
+// complete without encoding execution knobs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "svc/cache.h"
+#include "svc/metrics.h"
+#include "svc/request.h"
+
+namespace rn::svc {
+
+struct service_config {
+  /// Concurrent in-flight runs (each executes one request at a time).
+  unsigned workers = 2;
+  /// Trial-pool threads per run (sim::run_config::threads; 0 = hardware).
+  unsigned threads_per_request = 0;
+  /// LRU capacity in completed-run payloads.
+  std::size_t cache_entries = 128;
+  /// Per-request trial budget; requests above it answer `over-budget`.
+  std::size_t max_trials = 4096;
+};
+
+/// Delivers one response line (no trailing newline). May be called from a
+/// worker thread; must be safe to invoke concurrently with other responses.
+using respond_fn = std::function<void(const std::string&)>;
+
+class service {
+ public:
+  explicit service(service_config cfg = {});
+  ~service();  ///< drains queued + in-flight runs, then joins the pool
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  /// Accepts one request line. Always produces exactly one call to
+  /// `respond`: immediately for parse/validation errors and for the
+  /// metrics/list/shutdown methods, from a worker thread once the run (or
+  /// cache hit) completes otherwise.
+  void submit(const std::string& line, respond_fn respond);
+
+  /// Synchronous convenience wrapper: submit and block for the response.
+  [[nodiscard]] std::string handle(const std::string& line);
+
+  /// Current Prometheus text exposition.
+  [[nodiscard]] std::string metrics_text() const;
+
+  /// Set once a shutdown request is accepted; transports poll it to close
+  /// their listeners. Already-queued runs still complete (see dtor).
+  [[nodiscard]] bool shutdown_requested() const;
+
+  /// Blocks until the queue is empty and no run is in flight.
+  void drain();
+
+ private:
+  struct job {
+    request req;
+    sim::experiment e;
+    std::string key;          ///< canonical cache key
+    std::size_t trials = 0;   ///< resolved (default applied, budget-checked)
+    std::uint64_t seq = 0;    ///< arrival order, tiebreak within a priority
+    respond_fn respond;
+  };
+
+  void worker_loop();
+  void execute(job& jb);
+  void register_metrics();
+
+  service_config cfg_;
+  result_cache cache_;
+  metrics_registry registry_;
+  counter* requests_ = nullptr;
+  counter* requests_ok_ = nullptr;
+  counter* requests_error_ = nullptr;
+  counter* runs_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue -> workers
+  std::condition_variable idle_cv_;   ///< workers -> drain()
+  std::vector<job> queue_;            ///< binary heap (see job_before)
+  std::size_t inflight_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace rn::svc

@@ -15,7 +15,7 @@ class ProtocolSingleTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ProtocolSingleTest, AllSingleProtocolsCompleteOnUnitDisk) {
   const auto g = graph::random_unit_disk(40, 0.32, 9);
-  run_options opt;
+  options opt;
   opt.seed = 21;
   opt.prm = params::fast();
   const auto res = run_broadcast(g, GetParam(), {0, 1}, opt);
@@ -36,7 +36,7 @@ class ProtocolMultiTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ProtocolMultiTest, AllMultiProtocolsCompleteOnGrid) {
   const auto g = graph::grid(4, 6);
-  run_options opt;
+  options opt;
   opt.seed = 22;
   opt.prm = params::fast();
   const auto res = run_broadcast(g, GetParam(), {0, 6}, opt);
@@ -88,7 +88,7 @@ TEST(ProtocolRegistry, SingleMessageProtocolRejectsMultiWorkload) {
 
 TEST(Api, DeterministicUnderSeed) {
   const auto g = graph::clique_chain(4, 4);
-  run_options opt;
+  options opt;
   opt.seed = 33;
   const auto a = run_broadcast(g, "decay", {0, 1}, opt);
   const auto b = run_broadcast(g, "decay", {0, 1}, opt);
@@ -98,7 +98,7 @@ TEST(Api, DeterministicUnderSeed) {
 
 TEST(Api, SeedsActuallyVaryOutcomes) {
   const auto g = graph::random_gnp_connected(40, 0.15, 2);
-  run_options a, b;
+  options a, b;
   a.seed = 1;
   b.seed = 2;
   const auto ra = run_broadcast(g, "decay", {0, 1}, a);
@@ -109,7 +109,7 @@ TEST(Api, SeedsActuallyVaryOutcomes) {
 
 TEST(Api, SourceMayBeAnyNode) {
   const auto g = graph::grid(4, 4);
-  run_options opt;
+  options opt;
   opt.seed = 44;
   const auto res = run_broadcast(g, "gst-known", {10, 1}, opt);
   EXPECT_TRUE(res.base.completed);
@@ -121,7 +121,7 @@ TEST(Api, SourceMayBeAnyNode) {
 TEST(Api, FastForwardFlagIsResultInvariant) {
   const auto g = graph::random_unit_disk(30, 0.35, 4);
   for (const char* id : {"decay", "tuned-decay", "gst-known"}) {
-    run_options opt;
+    options opt;
     opt.seed = 55;
     opt.prm = params::fast();
     opt.fast_forward = false;

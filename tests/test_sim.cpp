@@ -329,7 +329,7 @@ TEST(Experiment, DeclarativeMatchesHandWrittenTrial) {
       auto spec = graph::parse_topology_spec(spec_text);
       spec.seed = r();
       const auto g = graph::build_topology(spec);
-      core::run_options opt;
+      core::options opt;
       opt.prm = core::params::fast();
       opt.fast_forward = use_fast_forward();
       opt.seed = r();
@@ -413,7 +413,7 @@ TEST(Experiment, IntraTrialShardedEnergyAndRoundsIdentical) {
       "layered:depth=50,width=200,edge_prob=0.1");
   spec.seed = 4242;
   const graph::graph g = graph::build_topology(spec);
-  core::run_options opt;
+  core::options opt;
   opt.prm = core::params::fast();
   opt.seed = 77;
 

@@ -33,7 +33,11 @@ import os
 import sys
 
 
-TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2")
+# v3 made the per-experiment peak_rss_kb a per-run high-water mark (reset
+# between experiments); the top-level peak_rss_kb stays process-monotone, so
+# the comparison logic is unchanged across versions.
+TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2",
+                  "rn-bench-timing-v3")
 
 
 def load_metrics(path):

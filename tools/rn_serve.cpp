@@ -1,0 +1,240 @@
+// rn_serve — resident broadcast-as-a-service daemon.
+//
+// Hosts svc::service (worker pool + LRU result cache + Prometheus metrics)
+// behind one of two newline-delimited-JSON transports:
+//
+//   rn_serve --socket /tmp/rn.sock [--workers 2] [--threads 0]
+//            [--cache 128] [--max-trials 4096] [--metrics-file metrics.prom]
+//   rn_serve --stdio             # request lines on stdin, responses on stdout
+//
+// Request/response grammar: see src/svc/request.h and README "Service
+// mode". The daemon exits after a {"method":"shutdown"} request (queued
+// runs still complete) or, in stdio mode, at EOF. --metrics-file rewrites
+// the Prometheus text exposition after every response and at exit, so a
+// node-exporter-style textfile collector can scrape a daemon that has no
+// HTTP port.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiments/experiments.h"
+#include "svc/service.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RN_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+struct serve_options {
+  std::string socket_path;  ///< empty = stdio transport
+  std::string metrics_path;
+  rn::svc::service_config svc;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " (--socket PATH | --stdio) [options]\n"
+      << "  --socket PATH       listen on a Unix stream socket\n"
+      << "  --stdio             serve stdin/stdout (one JSON object per line)\n"
+      << "  --workers N         concurrent runs (default 2)\n"
+      << "  --threads N         trial-pool threads per run (default 0 = auto)\n"
+      << "  --cache N           result-cache entries (default 128)\n"
+      << "  --max-trials N      per-request trial budget (default 4096)\n"
+      << "  --metrics-file PATH rewrite Prometheus text here after each "
+         "response\n";
+  return 2;
+}
+
+/// Serialized rewrite of the metrics textfile (responses arrive from
+/// several worker threads).
+class metrics_file {
+ public:
+  explicit metrics_file(std::string path) : path_(std::move(path)) {}
+
+  void write(const std::string& text) {
+    if (path_.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+};
+
+int serve_stdio(rn::svc::service& svc, metrics_file& mf) {
+  std::mutex out_mu;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    svc.submit(line, [&](const std::string& resp) {
+      {
+        std::lock_guard<std::mutex> lock(out_mu);
+        std::cout << resp << "\n" << std::flush;
+      }
+      mf.write(svc.metrics_text());
+    });
+    if (svc.shutdown_requested()) break;
+  }
+  svc.drain();
+  mf.write(svc.metrics_text());
+  return 0;
+}
+
+#if RN_HAVE_UNIX_SOCKETS
+
+/// Reads one '\n'-terminated line from fd into out (without the newline).
+/// Returns false on EOF/error with nothing buffered.
+bool read_line(int fd, std::string& buf, std::string& out) {
+  for (;;) {
+    const auto nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buf, 0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void send_line(int fd, std::mutex& mu, const std::string& resp) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::string wire = resp;
+  wire += "\n";
+  std::size_t off = 0;
+  while (off < wire.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, 0);
+#endif
+    if (n <= 0) return;  // peer went away; the run result stays cached
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+int serve_socket(rn::svc::service& svc, metrics_file& mf,
+                 const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long: " << path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+
+  std::mutex conns_mu;
+  std::vector<std::thread> conns;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by the shutdown path below
+    std::lock_guard<std::mutex> lock(conns_mu);
+    conns.emplace_back([&svc, &mf, fd, listener] {
+      auto write_mu = std::make_shared<std::mutex>();
+      std::string buf;
+      std::string line;
+      while (read_line(fd, buf, line)) {
+        if (line.empty()) continue;
+        svc.submit(line, [&svc, &mf, fd, write_mu](const std::string& resp) {
+          send_line(fd, *write_mu, resp);
+          mf.write(svc.metrics_text());
+        });
+        if (svc.shutdown_requested()) {
+          // Stop accepting; in-flight and queued runs still complete.
+          ::shutdown(listener, SHUT_RDWR);
+          break;
+        }
+      }
+      // Outstanding responses for this connection may still arrive from
+      // worker threads; wait for them before dropping the fd.
+      svc.drain();
+      ::close(fd);
+    });
+    if (svc.shutdown_requested()) break;
+  }
+  ::close(listener);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto& t : conns) t.join();
+  }
+  svc.drain();
+  mf.write(svc.metrics_text());
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif  // RN_HAVE_UNIX_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rn::bench::register_all();
+
+  serve_options opt;
+  bool stdio = false;
+  auto value = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--socket" && (v = value(i))) {
+      opt.socket_path = v;
+    } else if (arg == "--metrics-file" && (v = value(i))) {
+      opt.metrics_path = v;
+    } else if (arg == "--workers" && (v = value(i))) {
+      opt.svc.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--threads" && (v = value(i))) {
+      opt.svc.threads_per_request = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--cache" && (v = value(i))) {
+      opt.svc.cache_entries = std::stoul(v);
+    } else if (arg == "--max-trials" && (v = value(i))) {
+      opt.svc.max_trials = std::stoul(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (stdio == !opt.socket_path.empty()) return usage(argv[0]);
+
+  rn::svc::service svc(opt.svc);
+  metrics_file mf(opt.metrics_path);
+  mf.write(svc.metrics_text());
+  if (stdio) return serve_stdio(svc, mf);
+#if RN_HAVE_UNIX_SOCKETS
+  return serve_socket(svc, mf, opt.socket_path);
+#else
+  std::cerr << "socket transport needs a POSIX platform; use --stdio\n";
+  return 1;
+#endif
+}
