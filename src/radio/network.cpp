@@ -4,11 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "radio/simd_kernels.h"
 
 namespace rn::radio {
 
@@ -23,6 +26,7 @@ constexpr unsigned kNumBlocks = 32;
 
 std::atomic<std::int64_t> g_stepped{0};
 std::atomic<std::int64_t> g_skipped{0};
+std::atomic<std::int64_t> g_simd_stepped{0};
 std::atomic<std::int64_t> g_parallel_rounds{0};
 std::atomic<std::int64_t> g_shard_busy_ns[kNumBlocks]{};
 std::atomic<unsigned> g_max_team{0};
@@ -44,7 +48,96 @@ unsigned budget_total_locked() {
   return g_budget_total;
 }
 
+/// cpuid probe for the best kernel tier this build carries. The compiled-in
+/// guards and the runtime checks are independent: a binary built with the
+/// AVX-512 TU still runs the scalar (or AVX2) walk on older hardware.
+simd_level probe_simd_level() {
+  simd_level best = simd_level::scalar;
+#if defined(RN_HAVE_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2")) best = simd_level::avx2;
+#endif
+#if defined(RN_HAVE_SIMD_AVX512)
+  if (best == simd_level::avx2 && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl"))
+    best = simd_level::avx512;
+#endif
+  return best;
+}
+
+simd_level clamp_to_detected(simd_level l) {
+  return std::min(l, detected_simd_level());
+}
+
+/// Startup tier: the detected one, unless RN_SIMD asks for less (or, on a
+/// machine whose CPU lacks the requested tier, effectively less — requests
+/// are clamped, never trusted to exceed the probe).
+simd_level initial_simd_level() {
+  const char* e = std::getenv("RN_SIMD");
+  if (e == nullptr || std::strcmp(e, "auto") == 0)
+    return detected_simd_level();
+  if (std::strcmp(e, "scalar") == 0 || std::strcmp(e, "off") == 0)
+    return simd_level::scalar;
+  if (std::strcmp(e, "avx2") == 0)
+    return clamp_to_detected(simd_level::avx2);
+  if (std::strcmp(e, "avx512") == 0)
+    return clamp_to_detected(simd_level::avx512);
+  return detected_simd_level();  // unrecognized value: behave like auto
+}
+
+std::atomic<std::uint8_t>& active_simd_storage() {
+  static std::atomic<std::uint8_t> level{
+      static_cast<std::uint8_t>(initial_simd_level())};
+  return level;
+}
+
+/// Kernel table for a tier; nullptr means "use the inlined scalar walk".
+const detail::walk_kernels* kernels_for(simd_level l) {
+  switch (l) {
+#if defined(RN_HAVE_SIMD_AVX512)
+    case simd_level::avx512: {
+      static const detail::walk_kernels k = detail::avx512_kernels();
+      return &k;
+    }
+#endif
+#if defined(RN_HAVE_SIMD_AVX2)
+    case simd_level::avx2: {
+      static const detail::walk_kernels k = detail::avx2_kernels();
+      return &k;
+    }
+#endif
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace
+
+const char* to_string(simd_level l) {
+  switch (l) {
+    case simd_level::avx512:
+      return "avx512";
+    case simd_level::avx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+simd_level detected_simd_level() {
+  static const simd_level level = probe_simd_level();
+  return level;
+}
+
+simd_level active_simd_level() {
+  return static_cast<simd_level>(
+      active_simd_storage().load(std::memory_order_relaxed));
+}
+
+void set_simd_level(simd_level l) {
+  active_simd_storage().store(
+      static_cast<std::uint8_t>(clamp_to_detected(l)),
+      std::memory_order_relaxed);
+}
 
 void set_intra_trial_policy(const intra_trial_policy& p) {
   std::lock_guard<std::mutex> lock(g_policy_mu);
@@ -266,7 +359,12 @@ network::network(const graph::graph& g, model m)
   for (unsigned b = 0; b < kNumBlocks; ++b)
     for (node_id v = block_bounds_[b]; v < block_bounds_[b + 1]; ++v)
       block_of_[v] = static_cast<std::uint8_t>(b);
+  // Touch lists sized to their blocks (a listener is appended at most once
+  // per round): pushes need no capacity checks and the SIMD kernels can
+  // compress-store fresh ids straight into the tail.
   block_touched_.resize(kNumBlocks);
+  for (unsigned b = 0; b < kNumBlocks; ++b)
+    block_touched_[b].reset(block_bounds_[b + 1] - block_bounds_[b]);
 
   const intra_trial_policy pol = get_intra_trial_policy();
   min_parallel_volume_ = pol.min_parallel_volume;
@@ -296,12 +394,16 @@ void network::flush_totals() {
   flushed_stepped_ = stepped;
   g_skipped.fetch_add(skipped_ - flushed_skipped_, std::memory_order_relaxed);
   flushed_skipped_ = skipped_;
+  g_simd_stepped.fetch_add(simd_stepped_ - flushed_simd_,
+                           std::memory_order_relaxed);
+  flushed_simd_ = simd_stepped_;
   if (team_) team_->flush_process_totals();
 }
 
 engine_totals network::process_totals() {
   return {g_stepped.load(std::memory_order_relaxed),
-          g_skipped.load(std::memory_order_relaxed)};
+          g_skipped.load(std::memory_order_relaxed),
+          g_simd_stepped.load(std::memory_order_relaxed)};
 }
 
 shard_totals network::process_shard_totals() {
@@ -375,6 +477,13 @@ void network::prepare_round(const round_buffer& txs) {
     volume += row_start_[u + 1] - row_start_[u];
   }
 
+  // This round's row-walk kernels (nullptr = inlined scalar walk). Resolved
+  // per round so flipping the process-wide tier affects live networks; both
+  // the serial walk and every phase-B block of a sharded round use the same
+  // table, so a round is wholly SIMD or wholly scalar.
+  kernels_ = kernels_for(active_simd_level());
+  if (kernels_ != nullptr) ++simd_stepped_;
+
   if (team_ && m > 0 && volume >= min_parallel_volume_) {
     row_split_.resize(m * (kNumBlocks + 1));
     team_->run_round(txs);
@@ -394,6 +503,17 @@ void network::serial_walk(const round_buffer& txs) {
   std::uint64_t* hits = hit_state_.data();
   const std::uint8_t* owner = block_of_.data();
   const auto m = static_cast<std::uint32_t>(txs.size());
+  if (kernels_ != nullptr) {
+    // SIMD tier: whole-row segments through the owner-routed kernel. Same
+    // words, same first-touch order — just wider (simd_kernels.h).
+    const detail::owner_segment_fn segment = kernels_->owner_segment;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const node_id u = txs[i].from;
+      segment(adj, hits, row_start_[u], row_start_[u + 1], i,
+              block_touched_.data(), owner);
+    }
+    return;
+  }
   for (std::uint32_t i = 0; i < m; ++i) {
     const node_id u = txs[i].from;
     const std::uint32_t begin = row_start_[u];
@@ -401,7 +521,7 @@ void network::serial_walk(const round_buffer& txs) {
     for (std::uint32_t a = begin; a < end; ++a) {
       const node_id v = adj[a];
       const std::uint64_t hs = hits[v];
-      if (hs == 0) block_touched_[owner[v]].push_back(v);
+      if (hs == 0) block_touched_[owner[v]].push(v);
       hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
     }
   }
@@ -435,17 +555,27 @@ void network::walk_block(const round_buffer& txs, unsigned block) {
   // first-touch order identical to the serial walk's.
   const node_id* adj = adj_.data();
   std::uint64_t* hits = hit_state_.data();
-  auto& touched = block_touched_[block];
+  touch_list& touched = block_touched_[block];
   const auto m = static_cast<std::uint32_t>(txs.size());
   const std::uint32_t* split = row_split_.data();
   constexpr std::size_t stride = kNumBlocks + 1;
+  if (kernels_ != nullptr) {
+    // SIMD tier: this block's row slices through the single-destination
+    // kernel (all listeners here belong to `block` by construction).
+    const detail::block_segment_fn segment = kernels_->block_segment;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      segment(adj, hits, split[i * stride + block],
+              split[i * stride + block + 1], i, touched);
+    }
+    return;
+  }
   for (std::uint32_t i = 0; i < m; ++i) {
     const std::uint32_t begin = split[i * stride + block];
     const std::uint32_t end = split[i * stride + block + 1];
     for (std::uint32_t a = begin; a < end; ++a) {
       const node_id v = adj[a];
       const std::uint64_t hs = hits[v];
-      if (hs == 0) touched.push_back(v);
+      if (hs == 0) touched.push(v);
       hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
     }
   }

@@ -44,8 +44,35 @@
 #include "common/types.h"
 #include "graph/graph.h"
 #include "radio/packet.h"
+#include "radio/touch_list.h"
 
 namespace rn::radio {
+
+namespace detail {
+struct walk_kernels;  // per-ISA row-walk kernels (simd_kernels.h, internal)
+}  // namespace detail
+
+/// Vector ISA tier of the reception row-walk kernels. The walks (serial and
+/// sharded phase B) produce identical hit words and first-touch orders at
+/// every tier — the kernel is selected by a runtime CPU probe and is purely
+/// an execution knob, like thread counts and fast-forward.
+enum class simd_level : std::uint8_t { scalar = 0, avx2 = 1, avx512 = 2 };
+
+[[nodiscard]] const char* to_string(simd_level l);
+
+/// Best tier this build *and* this CPU support (cpuid-probed once; always
+/// `scalar` when built with RN_DISABLE_SIMD or on non-x86 hosts).
+[[nodiscard]] simd_level detected_simd_level();
+
+/// The tier the next stepped rounds will use. Defaults to the detected
+/// tier; the RN_SIMD environment variable (scalar|avx2|avx512|auto) presets
+/// it at startup — handy for A/B byte-identity checks without rebuilding.
+[[nodiscard]] simd_level active_simd_level();
+
+/// Overrides the active tier, clamped to detected_simd_level(). Results are
+/// byte-identical at every tier (tests/test_radio.cpp pins this), so this
+/// exists for benchmarks, tests, and the RN_SIMD escape hatch.
+void set_simd_level(simd_level l);
 
 /// What a listening node observes in one round.
 enum class observation : std::uint8_t { silence, message, collision };
@@ -130,6 +157,9 @@ struct network_stats {
 struct engine_totals {
   std::int64_t stepped_rounds = 0;  ///< rounds resolved by `step`
   std::int64_t skipped_rounds = 0;  ///< rounds fast-forwarded by `advance`
+  /// Stepped rounds whose row walks ran on a SIMD kernel (subset of
+  /// stepped_rounds; the rest used the scalar walk).
+  std::int64_t simd_stepped_rounds = 0;
 };
 
 /// Process-wide intra-trial (sharded `step`) workload counters. Timing is
@@ -339,8 +369,9 @@ class network {
   // order thread-count-invariant.
   std::vector<node_id> block_bounds_;
   std::vector<std::uint8_t> block_of_;
-  // Per-block first-touch lists (the dispatch order within each block).
-  std::vector<std::vector<node_id>> block_touched_;
+  // Per-block first-touch lists (the dispatch order within each block);
+  // capacity fixed to the block size so SIMD kernels can bulk-append.
+  std::vector<touch_list> block_touched_;
   // Phase A scratch: per transmitter, kNumBlocks+1 row offsets.
   std::vector<std::uint32_t> row_split_;
   std::size_t min_parallel_volume_ = 0;
@@ -351,9 +382,15 @@ class network {
   bool auto_shards_ = false;
   int auto_poll_ = 0;
   std::unique_ptr<shard_team> team_;
+  // This round's row-walk kernels, resolved from the active SIMD tier in
+  // prepare_round (nullptr = the inlined scalar walk). Re-read every round
+  // so set_simd_level() takes effect on live networks.
+  const detail::walk_kernels* kernels_ = nullptr;
+  std::int64_t simd_stepped_ = 0;  ///< stepped rounds that used kernels_
   // flush_totals() high-water marks (what was already published).
   std::int64_t flushed_stepped_ = 0;
   std::int64_t flushed_skipped_ = 0;
+  std::int64_t flushed_simd_ = 0;
 };
 
 }  // namespace rn::radio

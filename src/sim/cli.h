@@ -23,10 +23,11 @@ struct cli_options {
   unsigned intra_trial_threads = 0;
   std::uint64_t seed = 1;
   std::string json_path;     ///< empty = no JSON output
-  /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v3:
+  /// Wall-clock / engine-counter / peak-RSS sidecar (rn-bench-timing-v4:
   /// per-experiment peak_rss_kb is a per-run high-water mark where the
   /// kernel supports resets, with the process-lifetime maximum kept at the
-  /// top level). Kept separate from --json so result files stay
+  /// top level; v4 adds the active SIMD kernel tier and per-experiment
+  /// simd/scalar round splits). Kept separate from --json so result files stay
   /// byte-identical across thread counts and execution modes; the CI perf
   /// gate trends this file.
   std::string timing_path;

@@ -43,6 +43,16 @@ struct trace {
   std::int64_t collisions = 0;
 };
 
+/// Restores the process-global SIMD kernel level on scope exit.
+struct simd_level_guard {
+  explicit simd_level_guard(radio::simd_level l)
+      : prev_(radio::active_simd_level()) {
+    radio::set_simd_level(l);
+  }
+  ~simd_level_guard() { radio::set_simd_level(prev_); }
+  radio::simd_level prev_;
+};
+
 /// Runs the fixed workload: 24 rounds on layered:depth=20,width=12 (seed 7),
 /// erasure_prob 0.35, transmitters chosen by a fixed modular pattern so each
 /// round mixes single-sender receptions (erasure draws) with collisions.
@@ -107,6 +117,28 @@ TEST(ChannelContract, TraceIsThreadCountInvariant) {
     EXPECT_EQ(sharded.deliveries, serial.deliveries) << threads;
     EXPECT_EQ(sharded.erasures, serial.erasures) << threads;
     EXPECT_EQ(sharded.collisions, serial.collisions) << threads;
+  }
+}
+
+// The vectorized row-walk kernels must reproduce the pinned goldens — not
+// merely match whatever the scalar walk currently does — at every team
+// size. This is the contract-level statement of SIMD byte identity: the
+// kernels preserve first-touch dispatch order and therefore the
+// erasure-draw mapping that channel-v1 froze.
+TEST(ChannelContract, GoldensHoldUnderEveryKernelLevel) {
+  for (const radio::simd_level lvl :
+       {radio::simd_level::scalar, radio::simd_level::avx2,
+        radio::simd_level::avx512}) {
+    if (lvl > radio::detected_simd_level()) continue;
+    simd_level_guard guard(lvl);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      const trace t = run_workload(threads);
+      EXPECT_EQ(t.digest_value, 14735693317489780001ULL)
+          << radio::to_string(lvl) << " x team " << threads;
+      EXPECT_EQ(t.deliveries, 305) << radio::to_string(lvl);
+      EXPECT_EQ(t.erasures, 181) << radio::to_string(lvl);
+      EXPECT_EQ(t.collisions, 3918) << radio::to_string(lvl);
+    }
   }
 }
 

@@ -2,8 +2,10 @@
 
 #include <initializer_list>
 #include <map>
+#include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -352,6 +354,161 @@ TEST(ShardedStep, ErasureDrawsAreShardCountInvariant) {
   }
   EXPECT_GT(serial.stats().erasures, 0);
   EXPECT_EQ(serial.stats().erasures, sharded.stats().erasures);
+}
+
+// Contract under test: the vectorized row-walk kernels (AVX2 / AVX-512)
+// produce the exact reception sequence of the scalar walk — same
+// listeners, same observations, same senders, same order, same erasure
+// draws — on every graph and at every intra-trial team size. The active
+// kernel is process-global state, so these tests record a scalar
+// reference log and replay the identical schedule under each detected
+// level on a fresh network.
+
+/// Restores the process-global kernel level on scope exit.
+struct simd_level_guard {
+  explicit simd_level_guard(simd_level l) : prev_(active_simd_level()) {
+    set_simd_level(l);
+  }
+  ~simd_level_guard() { set_simd_level(prev_); }
+  simd_level prev_;
+};
+
+/// Every vector level this machine can actually run (empty on pre-AVX2
+/// hardware or RN_DISABLE_SIMD builds — the tests then pass vacuously,
+/// which is exactly the scalar-fallback contract).
+std::vector<simd_level> vector_levels() {
+  std::vector<simd_level> out;
+  for (simd_level l : {simd_level::avx2, simd_level::avx512})
+    if (l <= detected_simd_level()) out.push_back(l);
+  return out;
+}
+
+using rx_log = std::vector<std::tuple<node_id, observation, node_id>>;
+
+/// Replays a fixed multi-round transmit schedule on a fresh network under
+/// the given kernel level and team size; returns the full reception log.
+rx_log replay_schedule(const graph::graph& g, const model& m, simd_level lvl,
+                       unsigned team,
+                       const std::vector<std::vector<node_id>>& schedule) {
+  simd_level_guard guard(lvl);
+  network net(g, m);
+  if (team > 1) {
+    net.set_min_parallel_volume(0);
+    net.enable_intra_trial(team);
+  }
+  std::vector<packet> beacons;
+  beacons.reserve(g.node_count());
+  for (node_id v = 0; v < g.node_count(); ++v)
+    beacons.push_back(packet::make_beacon(v));
+  rx_log log;
+  round_buffer txs;
+  for (const auto& round : schedule) {
+    txs.clear();
+    for (node_id v : round) txs.add(v, beacons[v]);
+    net.step(txs, [&](const reception& rx) {
+      log.emplace_back(rx.listener, rx.what, rx.from);
+    });
+  }
+  return log;
+}
+
+/// Random schedule sweeping densities from ~1/2 to ~1/2^6 active nodes.
+std::vector<std::vector<node_id>> random_schedule(std::size_t n, int rounds,
+                                                  std::uint64_t seed) {
+  rng r(seed);
+  std::vector<std::vector<node_id>> schedule(rounds);
+  for (int round = 0; round < rounds; ++round) {
+    const int e = 1 + round % 6;
+    for (node_id v = 0; v < n; ++v)
+      if (r.with_probability_pow2(e)) schedule[round].push_back(v);
+  }
+  return schedule;
+}
+
+TEST(SimdStep, MatchesScalarOnRandomRounds) {
+  const std::size_t n = 700;
+  const auto g = graph::random_gnp_connected(n, 10.0 / static_cast<double>(n), 7);
+  const model m{.collision_detection = true};
+  const auto schedule = random_schedule(n, 40, 123);
+  const rx_log ref = replay_schedule(g, m, simd_level::scalar, 1, schedule);
+  ASSERT_FALSE(ref.empty());
+  for (simd_level lvl : vector_levels()) {
+    SCOPED_TRACE(to_string(lvl));
+    EXPECT_EQ(ref, replay_schedule(g, m, lvl, 1, schedule));
+  }
+}
+
+TEST(SimdStep, BlockBoundaryListenersAndScalarTails) {
+  // Star-of-stars with 59-leaf rows: each transmitter row is seven full
+  // 8-lane batches plus a ragged tail, and the hubs straddle the sharded
+  // walk's block boundaries — covering the batch loop, the scalar tail,
+  // and the compress-store append in one graph.
+  graph::graph::builder b(600);
+  for (node_id hub = 0; hub < 600; hub += 60)
+    for (node_id leaf = 1; leaf < 60; ++leaf) b.add_edge(hub, hub + leaf);
+  for (node_id hub = 0; hub < 540; hub += 60) b.add_edge(hub, hub + 60);
+  const auto g = std::move(b).build();
+  const model m{.collision_detection = true};
+
+  std::vector<std::vector<node_id>> schedule(2);
+  for (node_id v = 0; v < 600; ++v)  // all leaves: hubs hear collisions
+    if (v % 60 != 0) schedule[0].push_back(v);
+  for (node_id hub = 0; hub < 600; hub += 60)  // one leaf per star: clean
+    schedule[1].push_back(hub + 7);
+
+  const rx_log ref = replay_schedule(g, m, simd_level::scalar, 1, schedule);
+  for (simd_level lvl : vector_levels()) {
+    SCOPED_TRACE(to_string(lvl));
+    EXPECT_EQ(ref, replay_schedule(g, m, lvl, 1, schedule));
+  }
+}
+
+TEST(SimdStep, ErasureDrawsAreKernelInvariant) {
+  // Erasure draws happen at dispatch, which consumes the touch lists the
+  // kernels build — identical first-touch order is what keeps the lossy
+  // channel byte-identical, so test it directly at erasure_prob > 0.
+  const std::size_t n = 400;
+  const auto g = graph::random_gnp_connected(n, 8.0 / static_cast<double>(n), 3);
+  const model m{.collision_detection = false,
+                .erasure_prob = 0.4,
+                .erasure_seed = 99};
+  const auto schedule = random_schedule(n, 30, 5);
+  const rx_log ref = replay_schedule(g, m, simd_level::scalar, 1, schedule);
+  ASSERT_FALSE(ref.empty());
+  for (simd_level lvl : vector_levels()) {
+    SCOPED_TRACE(to_string(lvl));
+    EXPECT_EQ(ref, replay_schedule(g, m, lvl, 1, schedule));
+  }
+}
+
+TEST(SimdStep, ComposesWithShardedTeams) {
+  // Kernel level x team size cross-product: the sharded walk calls the
+  // same kernels through the owner-routed entry point, so SIMD-on-sharded
+  // must equal scalar-serial too.
+  const std::size_t n = 700;
+  const auto g = graph::random_gnp_connected(n, 10.0 / static_cast<double>(n), 7);
+  const model m{.collision_detection = true};
+  const auto schedule = random_schedule(n, 20, 42);
+  const rx_log ref = replay_schedule(g, m, simd_level::scalar, 1, schedule);
+  for (simd_level lvl : vector_levels()) {
+    for (unsigned team : {2u, 4u}) {
+      SCOPED_TRACE(std::string(to_string(lvl)) + " x team " +
+                   std::to_string(team));
+      EXPECT_EQ(ref, replay_schedule(g, m, lvl, team, schedule));
+    }
+  }
+}
+
+TEST(SimdStep, LevelApiClampsAndReports) {
+  const simd_level prev = active_simd_level();
+  set_simd_level(simd_level::avx512);  // clamped to what the CPU has
+  EXPECT_LE(active_simd_level(), detected_simd_level());
+  set_simd_level(simd_level::scalar);  // scalar is always available
+  EXPECT_EQ(active_simd_level(), simd_level::scalar);
+  EXPECT_STREQ(to_string(simd_level::scalar), "scalar");
+  EXPECT_STREQ(to_string(simd_level::avx2), "avx2");
+  EXPECT_STREQ(to_string(simd_level::avx512), "avx512");
+  set_simd_level(prev);
 }
 
 TEST(ShardedStep, WorkerBudgetBorrowAndReturn) {

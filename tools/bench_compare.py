@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare two bench timing files and fail on wall-clock regressions.
 
-Inputs are rn-bench-timing-v1/-v2 sidecars written by `bench_suite --timing`
+Inputs are rn-bench-timing-v1..v4 sidecars written by `bench_suite --timing`
 and/or google-benchmark JSON written by `bench_micro --benchmark_out=...`.
 The file kind is auto-detected. Tracked metrics:
 
@@ -35,9 +35,11 @@ import sys
 
 # v3 made the per-experiment peak_rss_kb a per-run high-water mark (reset
 # between experiments); the top-level peak_rss_kb stays process-monotone, so
-# the comparison logic is unchanged across versions.
+# the comparison logic is unchanged across versions. v4 added the active
+# SIMD kernel tier and per-experiment simd/scalar round splits — execution
+# evidence, not timings, so they ride along untracked here.
 TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2",
-                  "rn-bench-timing-v3")
+                  "rn-bench-timing-v3", "rn-bench-timing-v4")
 
 
 def load_metrics(path):
@@ -59,6 +61,10 @@ def load_metrics(path):
         unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
         for row in data["benchmarks"]:
             if row.get("run_type") == "aggregate":
+                continue
+            # Skipped benchmarks (e.g. a SIMD tier the runner's CPU lacks)
+            # report error rows, not timings.
+            if row.get("error_occurred"):
                 continue
             scale = unit_ms.get(row.get("time_unit", "ns"))
             if scale is None:
@@ -100,6 +106,12 @@ def main():
                     help="append a markdown comparison table to this file "
                          "(default: $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
+
+    # A fresh branch (or a wiped cache) has no baseline artifact at all;
+    # that is a seeding run, not an error — never fail the gate on it.
+    if not os.path.exists(args.baseline):
+        print("no baseline, skipping gate")
+        return 0
 
     base, base_rss = load_metrics(args.baseline)
     cur, cur_rss = load_metrics(args.current)

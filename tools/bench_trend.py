@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Cross-commit perf trend: aggregate retained BENCH_<sha>*.json artifacts
+into a per-benchmark trend table and gate the current run against the
+median of the last N green runs.
+
+The single-previous-run comparison (tools/bench_compare.py) is noisy on
+shared CI runners and blind to slow drift: a 10%/PR regression never trips
+a 25% single-step gate. This tool instead reconstructs the whole perf
+trajectory from the uploaded artifacts — every green perf-job run uploads
+its `BENCH_<sha>_timing.json` / `BENCH_<sha>_micro.json` files with 90-day
+retention — and compares the current run against the *median* of the last
+N historical values per metric, which is robust to one-off runner noise in
+both the history and the gate.
+
+History sources (pick one):
+
+  --dir DIR      read BENCH_*.json files from a local directory (e.g. the
+                 extraction of previously downloaded artifacts); ordered by
+                 file modification time.
+  --fetch        list and download the retained artifacts of this repository
+                 via the GitHub API (needs GITHUB_REPOSITORY and
+                 GITHUB_TOKEN, i.e. a CI run); ordered by artifact creation
+                 time. Only green runs upload artifacts, so the history is
+                 green by construction.
+
+Usage:
+    bench_trend.py (--dir DIR | --fetch) --current FILE [--current FILE ...]
+                   [--window 5] [--threshold 1.25] [--min-ms 5]
+                   [--artifact-name bench-json-perf] [--max-artifacts 30]
+                   [--markdown PATH] [--no-gate]
+
+Metric extraction is shared with bench_compare.py (suite wall_ms +
+micro real_time). Exit codes: 0 ok / seeding, 1 trend regression, 2 bad
+input. An empty history is the seeding case: the table is still written so
+this run becomes the trajectory's first point, and the gate passes.
+"""
+
+import argparse
+import io
+import json
+import os
+import re
+import statistics
+import sys
+import tempfile
+import urllib.request
+import zipfile
+
+import bench_compare
+
+SHA_RE = re.compile(r"^BENCH_([0-9a-f]{7,40})(?:_(timing|micro))?\.json$")
+
+# Trended on the table but never gated: RSS on shared CI runners is too
+# noisy for a hard threshold (same policy as bench_compare.py).
+REPORT_ONLY = {"suite/peak_rss_mib"}
+
+
+def short(sha):
+    return sha[:9] if re.fullmatch(r"[0-9a-f]{7,40}", sha) else sha
+
+
+def classify(path):
+    """Returns (sha, kind) for a BENCH_<sha>[_timing|_micro].json basename,
+    or (None, None) for files that are not part of the trajectory."""
+    m = SHA_RE.match(os.path.basename(path))
+    if not m:
+        return None, None
+    return m.group(1), m.group(2) or "results"
+
+
+def load_point_metrics(paths):
+    """Merged {metric: value} over one run's timing/micro files (results
+    JSONs carry no timings and are skipped)."""
+    metrics = {}
+    for path in paths:
+        try:
+            m, rss = bench_compare.load_metrics(path)
+        except SystemExit:
+            continue  # results JSON or unreadable — not a trend metric file
+        metrics.update(m)
+        if rss is not None:
+            metrics["suite/peak_rss_mib"] = rss / 1024.0
+    return metrics
+
+
+def history_from_dir(dirpath):
+    """[(sha, {metric: value})] ordered oldest -> newest by file mtime."""
+    runs = {}  # sha -> (latest mtime, [paths])
+    for name in os.listdir(dirpath):
+        path = os.path.join(dirpath, name)
+        sha, kind = classify(path)
+        if sha is None or kind == "results" or not os.path.isfile(path):
+            continue
+        mtime, paths = runs.get(sha, (0.0, []))
+        runs[sha] = (max(mtime, os.path.getmtime(path)), paths + [path])
+    ordered = sorted(runs.items(), key=lambda kv: kv[1][0])
+    return [(sha, load_point_metrics(paths)) for sha, (_t, paths) in ordered]
+
+
+def github_api(url, token, raw=False):
+    req = urllib.request.Request(url)
+    req.add_header("Authorization", f"Bearer {token}")
+    req.add_header("X-GitHub-Api-Version", "2022-11-28")
+    if not raw:
+        req.add_header("Accept", "application/vnd.github+json")
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        body = resp.read()
+    return body if raw else json.loads(body)
+
+
+def history_from_artifacts(artifact_name, max_artifacts):
+    """Downloads the newest `max_artifacts` non-expired artifacts with the
+    given name and returns [(sha, metrics)] oldest -> newest."""
+    repo = os.environ.get("GITHUB_REPOSITORY")
+    token = os.environ.get("GITHUB_TOKEN")
+    if not repo or not token:
+        raise SystemExit("bench_trend: --fetch needs GITHUB_REPOSITORY and "
+                         "GITHUB_TOKEN in the environment")
+    base = os.environ.get("GITHUB_API_URL", "https://api.github.com")
+    listing = github_api(
+        f"{base}/repos/{repo}/actions/artifacts"
+        f"?name={artifact_name}&per_page=100", token)
+    artifacts = [a for a in listing.get("artifacts", [])
+                 if not a.get("expired", False)]
+    artifacts.sort(key=lambda a: a.get("created_at", ""))  # oldest first
+    artifacts = artifacts[-max_artifacts:]
+    history = []
+    for art in artifacts:
+        try:
+            blob = github_api(art["archive_download_url"], token, raw=True)
+        except OSError as e:
+            print(f"bench_trend: skipping artifact {art.get('id')}: {e}",
+                  file=sys.stderr)
+            continue
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                with zipfile.ZipFile(io.BytesIO(blob)) as zf:
+                    zf.extractall(tmp)
+            except zipfile.BadZipFile:
+                continue
+            point = history_from_dir(tmp)
+        # One artifact = one run = one sha in practice; keep them all if not.
+        history.extend(point)
+    return history
+
+
+def build_table(history, current_sha, current, window, threshold, min_ms,
+                min_micro_ms):
+    """Returns (rows, regressions). Each row:
+    (metric, [historical values in window order], median, current, verdict)."""
+    names = sorted(set(current) | {n for _sha, m in history for n in m})
+    rows, regressions = [], []
+    for name in names:
+        series = [(short(sha), m[name]) for sha, m in history if name in m]
+        tail = series[-window:]
+        cur = current.get(name)
+        if cur is None:
+            rows.append((name, tail, None, None, "retired"))
+            continue
+        if not tail:
+            rows.append((name, tail, None, cur, "new (seeding trajectory)"))
+            continue
+        med = statistics.median(v for _s, v in tail)
+        if name in REPORT_ONLY:
+            ratio = cur / med if med > 0 else float("inf")
+            rows.append((name, tail, med, cur,
+                         f"reported only, not gated (x{ratio:.2f})"))
+            continue
+        floor = min_micro_ms if name.startswith("micro/") else min_ms
+        if max(med, cur) < floor:
+            rows.append((name, tail, med, cur, "(below noise floor)"))
+            continue
+        ratio = cur / med if med > 0 else float("inf")
+        verdict = "ok"
+        if ratio > threshold:
+            verdict = f"REGRESSION x{ratio:.2f} vs median"
+            regressions.append(name)
+        elif ratio < 1 / threshold:
+            verdict = f"improved x{1 / ratio:.2f} vs median"
+        rows.append((name, tail, med, cur, verdict))
+    return rows, regressions
+
+
+def write_markdown(path, rows, current_sha, window, verdict_line):
+    fmt = lambda v: f"{v:.2f}" if v is not None else "-"
+    shas = []
+    for _name, tail, _med, _cur, _verdict in rows:
+        for sha, _v in tail:
+            if sha not in shas:
+                shas.append(sha)
+    with open(path, "a") as f:
+        f.write(f"### perf trend: last {window} green runs → "
+                f"`{short(current_sha)}`\n\n")
+        header = " | ".join(f"`{s}`" for s in shas) if shas else "(no history)"
+        f.write(f"| metric | {header} | median | current | verdict |\n")
+        f.write("|---|" + "---:|" * (max(1, len(shas)) + 2) + "---|\n")
+        for name, tail, med, cur, verdict in rows:
+            by_sha = dict(tail)
+            cells = " | ".join(fmt(by_sha.get(s)) for s in shas) \
+                if shas else "-"
+            cell = verdict
+            if verdict.startswith("REGRESSION"):
+                cell = f"**{verdict}** :red_circle:"
+            elif verdict.startswith("improved"):
+                cell = f"{verdict} :green_circle:"
+            f.write(f"| `{name}` | {cells} | {fmt(med)} | {fmt(cur)} "
+                    f"| {cell} |\n")
+        f.write(f"\n{verdict_line}\n\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dir", help="local directory of BENCH_<sha>*.json")
+    src.add_argument("--fetch", action="store_true",
+                     help="download retained artifacts via the GitHub API")
+    ap.add_argument("--current", action="append", required=True,
+                    help="current run's timing/micro JSON (repeatable)")
+    ap.add_argument("--current-sha",
+                    default=os.environ.get("GITHUB_SHA", "current"),
+                    help="label for the current run (default: $GITHUB_SHA)")
+    ap.add_argument("--window", type=int, default=5,
+                    help="gate against the median of the last N runs")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current > threshold * median")
+    ap.add_argument("--min-ms", type=float, default=5.0)
+    ap.add_argument("--min-micro-ms", type=float, default=0.01)
+    ap.add_argument("--artifact-name", default="bench-json-perf",
+                    help="artifact name to fetch history from")
+    ap.add_argument("--max-artifacts", type=int, default=30,
+                    help="newest artifacts to download with --fetch")
+    ap.add_argument("--markdown", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="append the trend table to this file "
+                         "(default: $GITHUB_STEP_SUMMARY when set)")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="report the trend but never fail")
+    args = ap.parse_args()
+
+    current = load_point_metrics(args.current)
+    if not current:
+        raise SystemExit(f"bench_trend: no metrics in {args.current}")
+    history = (history_from_dir(args.dir) if args.dir
+               else history_from_artifacts(args.artifact_name,
+                                           args.max_artifacts))
+    # The current run may already sit in the history dir (local use);
+    # self-comparison would hide exactly the regression we gate on.
+    history = [(sha, m) for sha, m in history
+               if short(sha) != short(args.current_sha)]
+
+    rows, regressions = build_table(history, args.current_sha, current,
+                                    args.window, args.threshold, args.min_ms,
+                                    args.min_micro_ms)
+
+    width = max((len(r[0]) for r in rows), default=10)
+    fmt = lambda v: f"{v:10.2f}" if v is not None else "         -"
+    print(f"{'metric':<{width}}  {'median':>10}  {'current':>10}  "
+          f"verdict  (window {args.window}, {len(history)} run(s) of history)")
+    for name, _tail, med, cur, verdict in rows:
+        print(f"{name:<{width}}  {fmt(med)}  {fmt(cur)}  {verdict}")
+
+    if not history:
+        verdict_line = ("no historical runs found — seeding the trajectory "
+                        "with this run's artifacts")
+    elif regressions:
+        verdict_line = (f"FAIL: {len(regressions)} metric(s) regressed beyond "
+                        f"x{args.threshold} vs the median of the last "
+                        f"{args.window} green runs: {', '.join(regressions)}")
+    else:
+        verdict_line = (f"OK: no metric regressed beyond x{args.threshold} vs "
+                        f"the median of the last {args.window} green runs")
+    if args.no_gate and regressions:
+        verdict_line += " [--no-gate: reported only]"
+
+    if args.markdown:
+        try:
+            write_markdown(args.markdown, rows, args.current_sha, args.window,
+                           verdict_line)
+        except OSError as e:
+            print(f"bench_trend: cannot write markdown summary: {e}",
+                  file=sys.stderr)
+
+    print(f"\n{verdict_line}")
+    return 1 if regressions and not args.no_gate else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
