@@ -1,0 +1,39 @@
+// The hit-word merge algebra of the distributed backend.
+//
+// A round's per-listener state is one packed 64-bit word: transmitting-
+// neighbor count in the high half, index of the last transmitter that
+// touched the listener in the low half (the serial walk visits transmitters
+// in index order, so "last" = the maximum index). Zero means untouched —
+// unambiguous, because any touched listener has count >= 1.
+//
+// Split the transmitter set across ranks arbitrarily and each rank produces
+// a partial word per listener; the serial word is recovered by summing the
+// counts and taking the max of the last-sender indices. That makes the word
+// a commutative monoid under `merge_hit_words` with 0 as the identity — the
+// property the dist property tests pin (tests/test_dist.cpp) and the reason
+// a multi-process walk can be byte-identical to the serial one. The shipped
+// block partition never actually needs a runtime merge (each listener block
+// is wholly owned by one rank), but the algebra is what licenses any future
+// partition that does split a listener's transmitters across ranks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rn::dist {
+
+/// Combines two partial hit words for the same listener. Commutative and
+/// associative with 0 as identity; counts accumulate mod 2^32 exactly like
+/// the serial walk's `(hs + (1 << 32)) & 0xffffffff00000000` update, so the
+/// merged word is bit-equal to the serial word, not merely equivalent.
+[[nodiscard]] constexpr std::uint64_t merge_hit_words(std::uint64_t a,
+                                                      std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  const std::uint64_t count = (a >> 32) + (b >> 32);  // low 32 bits kept
+  const std::uint64_t last =
+      std::max(a & 0xffffffffULL, b & 0xffffffffULL);
+  return (count << 32) | last;
+}
+
+}  // namespace rn::dist

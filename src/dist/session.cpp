@@ -1,0 +1,257 @@
+#include "dist/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "core/params.h"
+#include "dist/worker.h"
+
+namespace rn::dist {
+
+namespace {
+constexpr unsigned kBlocks = core::kChannelContractBlocks;
+}  // namespace
+
+session::session(session_options opt) : opt_(std::move(opt)) {
+  opt_.ranks = std::max(1u, std::min(opt_.ranks, kBlocks));
+  // A dead worker must surface as a write error on its channel, not a
+  // SIGPIPE kill of the coordinator.
+  std::signal(SIGPIPE, SIG_IGN);
+  spawn_ranks();
+  rank_peak_rss_kb_.assign(opt_.ranks, 0);
+}
+
+session::~session() {
+  uninstall();
+  radio::set_remote_walk(nullptr);
+  for (auto& r : ranks_) {
+    if (r.ch.open()) {
+      try {
+        r.ch.send(msg_type::shutdown, wire_writer{});
+      } catch (const std::exception&) {
+        // Already dead; reaped below either way.
+      }
+      r.ch.close();
+    }
+    if (r.pid > 0) {
+      int status = 0;
+      ::waitpid(r.pid, &status, 0);
+    }
+  }
+}
+
+void session::install() {
+  sim::set_trial_graph_hook(this);
+  installed_ = true;
+}
+
+void session::uninstall() {
+  if (installed_) {
+    sim::set_trial_graph_hook(nullptr);
+    installed_ = false;
+  }
+}
+
+void session::spawn_ranks() {
+  ranks_.resize(opt_.ranks);
+  for (unsigned r = 0; r < opt_.ranks; ++r) {
+    auto [coord_end, worker_end] = make_channel_pair();
+    const pid_t pid = ::fork();
+    RN_REQUIRE(pid >= 0, "fork failed for dist worker rank");
+    if (pid == 0) {
+      // Child: drop every coordinator-side fd inherited so far, then run
+      // the worker — in-process (fork-only) or via exec of the launcher.
+      coord_end.close();
+      for (unsigned prev = 0; prev < r; ++prev) ranks_[prev].ch.close();
+      if (opt_.worker_exec.empty()) {
+        ::_exit(worker_main(worker_end.fd()));
+      }
+      const std::string fd_arg = std::to_string(worker_end.fd());
+      ::execl(opt_.worker_exec.c_str(), opt_.worker_exec.c_str(),
+              "--rn-worker-fd", fd_arg.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed; the coordinator sees EOF + status 127
+    }
+    ranks_[r].ch = std::move(coord_end);
+    ranks_[r].pid = pid;
+    ranks_[r].first_block = kBlocks * r / opt_.ranks;
+    ranks_[r].last_block = kBlocks * (r + 1) / opt_.ranks;
+    // worker_end closes here (parent side), leaving the child the only
+    // holder — its EOF semantics depend on that.
+  }
+}
+
+void session::report_dead_rank(unsigned r, const std::string& what) {
+  std::string detail = "no wait status";
+  if (ranks_[r].pid > 0) {
+    int status = 0;
+    if (::waitpid(ranks_[r].pid, &status, 0) == ranks_[r].pid) {
+      ranks_[r].pid = -1;
+      if (WIFEXITED(status))
+        detail = "exit status " + std::to_string(WEXITSTATUS(status));
+      else if (WIFSIGNALED(status))
+        detail = "killed by signal " + std::to_string(WTERMSIG(status));
+    }
+  }
+  ranks_[r].ch.close();
+  RN_REQUIRE(false, "dist worker rank " + std::to_string(r) +
+                        " died mid-protocol (" + detail + "): " + what);
+}
+
+void session::recv_expect(unsigned r, msg_type want,
+                          std::vector<std::uint8_t>& out) {
+  msg_type got = msg_type::shutdown;
+  try {
+    got = ranks_[r].ch.recv(out);
+  } catch (const contract_error& e) {
+    report_dead_rank(r, e.what());
+  }
+  RN_REQUIRE(got == want, "dist rank " + std::to_string(r) +
+                              " sent an out-of-protocol frame");
+}
+
+void session::trial_begin(const graph::topology_spec& spec,
+                          const graph::graph& g) {
+  // Serialize trials across scenario-pool threads: the rank fleet runs one
+  // trial at a time; everyone else queues here. Unlocked in trial_end on
+  // the same thread (the trial hook scope guarantees the pairing).
+  trial_mu_.lock();
+  try {
+    const std::string text = spec.to_string();
+    for (unsigned r = 0; r < ranks(); ++r) {
+      wire_writer setup;
+      setup.u32(r);
+      setup.u32(ranks());
+      setup.u32(kBlocks);
+      setup.u32(opt_.intra_trial_threads);
+      setup.u64(spec.seed);
+      setup.u32(static_cast<std::uint32_t>(text.size()));
+      setup.raw(text.data(), text.size());
+      try {
+        ranks_[r].ch.send(msg_type::setup, setup);
+      } catch (const contract_error& e) {
+        report_dead_rank(r, e.what());
+      }
+    }
+    for (unsigned r = 0; r < ranks(); ++r) {
+      recv_expect(r, msg_type::setup_ack, frame_);
+      wire_reader in(frame_);
+      const std::uint64_t n = in.u64();
+      static_cast<void>(in.u64());  // owned adjacency entries (diagnostic)
+      RN_REQUIRE(n == g.node_count(),
+                 "dist rank rebuilt a different graph (node count mismatch) "
+                 "— topology spec is not replay-deterministic");
+    }
+    armed_.store(&g, std::memory_order_release);
+    radio::set_remote_walk(this);
+  } catch (...) {
+    trial_mu_.unlock();
+    throw;
+  }
+}
+
+void session::trial_end(const graph::graph& g) {
+  try {
+    RN_REQUIRE(armed_.load(std::memory_order_acquire) == &g,
+               "dist trial_end for a graph that never began");
+    radio::set_remote_walk(nullptr);
+    armed_.store(nullptr, std::memory_order_release);
+    for (unsigned r = 0; r < ranks(); ++r) {
+      try {
+        ranks_[r].ch.send(msg_type::teardown, wire_writer{});
+      } catch (const contract_error& e) {
+        report_dead_rank(r, e.what());
+      }
+    }
+    for (unsigned r = 0; r < ranks(); ++r) {
+      recv_expect(r, msg_type::teardown_ack, frame_);
+      wire_reader in(frame_);
+      rank_peak_rss_kb_[r] = std::max(
+          rank_peak_rss_kb_[r], static_cast<std::int64_t>(in.u64()));
+    }
+    ++trials_;
+  } catch (...) {
+    trial_mu_.unlock();
+    throw;
+  }
+  trial_mu_.unlock();
+}
+
+bool session::adopt(const graph::graph& g) {
+  return armed_.load(std::memory_order_acquire) == &g;
+}
+
+void session::release(const graph::graph& g) {
+  (void)g;  // nothing rank-side to undo: state is per trial, not per network
+}
+
+void session::walk_round(const radio::round_buffer& txs,
+                         std::uint64_t* hit_state,
+                         radio::touch_list* block_touched) {
+  // An empty round touches nothing — identical to the serial walk — so it
+  // never crosses the wire (fast-forwarded protocols still advance() past
+  // idle rounds before this is reached; this covers stepped-but-empty).
+  if (txs.empty()) return;
+
+  wire_writer round;
+  round.u32(static_cast<std::uint32_t>(txs.size()));
+  for (std::size_t i = 0; i < txs.size(); ++i) round.u32(txs[i].from);
+  // Write every request before blocking on any reply: ranks work in
+  // parallel, and a dead rank turns the read below into EOF, not a hang.
+  for (unsigned r = 0; r < ranks(); ++r) {
+    try {
+      ranks_[r].ch.send(msg_type::round, round);
+    } catch (const contract_error& e) {
+      report_dead_rank(r, e.what());
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned r = 0; r < ranks(); ++r) {
+    recv_expect(r, msg_type::round_results, frame_);
+    wire_reader in(frame_);
+    unsigned expect_block = ranks_[r].first_block;
+    while (in.remaining() > 0) {
+      const std::uint32_t b = in.u32();
+      const std::uint32_t count = in.u32();
+      RN_REQUIRE(b == expect_block && b < ranks_[r].last_block,
+                 "dist rank returned blocks out of order");
+      ++expect_block;
+      const auto* ids =
+          reinterpret_cast<const node_id*>(in.raw(std::size_t{count} * 4));
+      const auto* words = in.raw(std::size_t{count} * 8);
+      radio::touch_list& touched = block_touched[b];
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const node_id v = ids[k];
+        touched.push(v);
+        std::memcpy(&hit_state[v], words + std::size_t{k} * 8, 8);
+      }
+    }
+    RN_REQUIRE(expect_block == ranks_[r].last_block,
+               "dist rank returned too few blocks");
+  }
+  merge_wall_ms_ +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+session_totals session::totals() const {
+  session_totals t;
+  t.peak_rss_kb_per_rank = rank_peak_rss_kb_;
+  for (const auto& r : ranks_) {
+    t.bytes_sent += r.ch.bytes_sent();
+    t.bytes_received += r.ch.bytes_received();
+  }
+  t.merge_wall_ms = merge_wall_ms_;
+  t.trials = trials_;
+  return t;
+}
+
+}  // namespace rn::dist

@@ -1,0 +1,129 @@
+// Coordinator side of the distributed backend: rank supervision, the
+// per-trial setup/teardown protocol, and the per-round walk exchange.
+//
+// A session spawns R worker processes at construction (fork-only for tests,
+// fork+exec of a launcher binary for tools/rn_dist) and implements both
+// process-wide hooks the rest of the stack exposes:
+//
+//   sim::trial_graph_hook — sees every declarative trial's topology spec and
+//   graph right after build_topology: it ships the spec (with its resolved
+//   seed) to every rank, waits for the partitioned CSRs to build, and arms
+//   the radio remote-walk hook for that trial. Trials are serialized on an
+//   internal mutex, so scenario-pool threads compose with a session — they
+//   just take turns on the rank fleet.
+//
+//   radio::remote_walk — adopted by networks whose topology is the armed
+//   trial graph (pointer identity). The coordinator then skips its private
+//   adjacency copy; each stepped round sends the transmitter list to every
+//   rank and applies the returned per-block touch lists in ascending block
+//   order, reproducing the serial walk's dispatch state exactly.
+//
+// Failure behavior: a worker that dies mid-protocol surfaces as one
+// rn::contract_error naming the rank and its wait status (exit code or
+// signal) — never a hang, because the coordinator writes all requests
+// before blocking on any reply and a dead peer turns reads into EOF.
+//
+// Results are byte-identical to single-process runs at any rank count; the
+// session only ever shows up in the timing sidecar (v5 rank counters).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "dist/wire.h"
+#include "graph/topology.h"
+#include "radio/network.h"
+#include "sim/experiment.h"
+
+namespace rn::dist {
+
+struct session_options {
+  /// Worker processes; clamped to [1, 32] (a rank owns >= 1 of the 32
+  /// blocks). Every value yields byte-identical results.
+  unsigned ranks = 2;
+  /// Walk threads per rank (the intra-trial knob, applied worker-side in
+  /// distributed mode). Byte-identical at every value.
+  unsigned intra_trial_threads = 1;
+  /// Non-empty: fork+exec this binary with "--rn-worker-fd N" per rank
+  /// (tools/rn_dist passes /proc/self/exe). Empty: fork-only — the child
+  /// runs worker_main in-process, which tests use; fork-only children must
+  /// be spawned before the process grows threads.
+  std::string worker_exec;
+};
+
+/// Cumulative rank-fleet counters for the v5 timing sidecar.
+struct session_totals {
+  std::vector<std::int64_t> peak_rss_kb_per_rank;  ///< max over trials
+  std::uint64_t bytes_sent = 0;      ///< coordinator -> workers, framed
+  std::uint64_t bytes_received = 0;  ///< workers -> coordinator, framed
+  double merge_wall_ms = 0.0;  ///< receiving + applying block results
+  std::uint64_t trials = 0;    ///< trials executed on the rank fleet
+};
+
+class session : public radio::remote_walk, public sim::trial_graph_hook {
+ public:
+  explicit session(session_options opt);
+  ~session() override;
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  /// Registers this session as the process trial observer. The remote-walk
+  /// hook arms and disarms per trial. Call once; the destructor (or
+  /// uninstall) deregisters.
+  void install();
+  void uninstall();
+
+  [[nodiscard]] unsigned ranks() const {
+    return static_cast<unsigned>(ranks_.size());
+  }
+  [[nodiscard]] session_totals totals() const;
+
+  // sim::trial_graph_hook — also directly callable by tests that build
+  // their networks by hand instead of through make_trial: `spec` must
+  // rebuild exactly the graph `g` in the workers.
+  void trial_begin(const graph::topology_spec& spec,
+                   const graph::graph& g) override;
+  void trial_end(const graph::graph& g) override;
+
+  // radio::remote_walk
+  bool adopt(const graph::graph& g) override;
+  void release(const graph::graph& g) override;
+  void walk_round(const radio::round_buffer& txs, std::uint64_t* hit_state,
+                  radio::touch_list* block_touched) override;
+
+ private:
+  struct rank_proc {
+    channel ch;
+    pid_t pid = -1;
+    unsigned first_block = 0;
+    unsigned last_block = 0;
+  };
+
+  void spawn_ranks();
+  /// Receives one frame from rank r, expecting `want`; a dead worker is
+  /// reported as a structured contract_error naming the rank and its wait
+  /// status.
+  void recv_expect(unsigned r, msg_type want, std::vector<std::uint8_t>& out);
+  [[noreturn]] void report_dead_rank(unsigned r, const std::string& what);
+
+  session_options opt_;
+  std::vector<rank_proc> ranks_;
+  bool installed_ = false;
+
+  std::mutex trial_mu_;  ///< held from trial_begin to trial_end
+  // Atomic because pool threads running *local* trials may construct
+  // networks (and hence call adopt) while the distributed trial is armed.
+  std::atomic<const graph::graph*> armed_{nullptr};
+
+  std::vector<std::int64_t> rank_peak_rss_kb_;
+  double merge_wall_ms_ = 0.0;
+  std::uint64_t trials_ = 0;
+  std::vector<std::uint8_t> frame_;  ///< recv scratch (coordinator thread)
+};
+
+}  // namespace rn::dist

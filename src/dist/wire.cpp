@@ -1,0 +1,130 @@
+#include "dist/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace rn::dist {
+
+std::uint32_t wire_reader::u32() {
+  RN_REQUIRE(at_ + 4 <= size_, "dist frame truncated (u32)");
+  std::uint32_t v = 0;
+  std::memcpy(&v, data_ + at_, 4);
+  at_ += 4;
+  return v;
+}
+
+std::uint64_t wire_reader::u64() {
+  RN_REQUIRE(at_ + 8 <= size_, "dist frame truncated (u64)");
+  std::uint64_t v = 0;
+  std::memcpy(&v, data_ + at_, 8);
+  at_ += 8;
+  return v;
+}
+
+const std::uint8_t* wire_reader::raw(std::size_t len) {
+  RN_REQUIRE(at_ + len <= size_, "dist frame truncated (raw)");
+  const std::uint8_t* p = data_ + at_;
+  at_ += len;
+  return p;
+}
+
+channel& channel::operator=(channel&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    sent_ = o.sent_;
+    received_ = o.received_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RN_REQUIRE(false, std::string("dist channel write failed: ") +
+                            std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false on clean EOF at a frame boundary-less position — the
+/// caller decides whether that is a crash. Partial reads keep looping.
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  bool any = false;
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RN_REQUIRE(false, std::string("dist channel read failed: ") +
+                            std::strerror(errno));
+    }
+    if (n == 0) {
+      RN_REQUIRE(!any, "dist peer closed mid-frame");
+      return false;
+    }
+    any = true;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void channel::send(msg_type type, const wire_writer& payload) {
+  RN_REQUIRE(open(), "dist channel is closed");
+  const auto body = static_cast<std::uint32_t>(1 + payload.bytes.size());
+  std::uint8_t header[5];
+  std::memcpy(header, &body, 4);
+  header[4] = static_cast<std::uint8_t>(type);
+  write_all(fd_, header, sizeof(header));
+  if (!payload.bytes.empty())
+    write_all(fd_, payload.bytes.data(), payload.bytes.size());
+  sent_ += sizeof(header) + payload.bytes.size();
+}
+
+msg_type channel::recv(std::vector<std::uint8_t>& payload) {
+  RN_REQUIRE(open(), "dist channel is closed");
+  std::uint8_t header[5];
+  RN_REQUIRE(read_all(fd_, header, sizeof(header)),
+             "dist peer closed the channel");
+  std::uint32_t body = 0;
+  std::memcpy(&body, header, 4);
+  RN_REQUIRE(body >= 1, "dist frame has no type byte");
+  payload.resize(body - 1);
+  if (!payload.empty())
+    RN_REQUIRE(read_all(fd_, payload.data(), payload.size()),
+               "dist peer closed mid-frame");
+  received_ += sizeof(header) + payload.size();
+  return static_cast<msg_type>(header[4]);
+}
+
+std::pair<channel, channel> make_channel_pair() {
+  int fds[2] = {-1, -1};
+  RN_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+             std::string("socketpair failed: ") + std::strerror(errno));
+  return {channel(fds[0]), channel(fds[1])};
+}
+
+}  // namespace rn::dist

@@ -1,0 +1,109 @@
+// Length-prefixed frame transport between the coordinator and worker ranks.
+//
+// One socketpair per rank; every message is [u32 length][u8 type][payload],
+// length counting type + payload. Integers are little-endian (both ends are
+// the same machine — the encoding is fixed anyway so byte counters and any
+// future cross-machine transport mean the same thing). A short read — the
+// peer closed mid-frame — throws rn::contract_error; the session wraps it
+// with the rank id and the child's wait status so a crashed rank surfaces
+// as one structured error instead of a hang.
+//
+// Round-trip shape per stepped round (see session.cpp): the coordinator
+// writes the transmitter frame to every rank and only then reads results
+// back rank by rank. Workers never send unsolicited frames, so the pattern
+// cannot deadlock: each socketpair carries at most one in-flight request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rn::dist {
+
+/// Frame types. Values are part of the wire format; append only.
+enum class msg_type : std::uint8_t {
+  setup = 1,         ///< coord -> worker: rank geometry + topology spec
+  setup_ack = 2,     ///< worker -> coord: node count + owned adjacency size
+  round = 3,         ///< coord -> worker: this round's transmitter ids
+  round_results = 4, ///< worker -> coord: per-owned-block touched listeners
+  teardown = 5,      ///< coord -> worker: trial over, free the partition
+  teardown_ack = 6,  ///< worker -> coord: peak RSS + byte counters
+  shutdown = 7,      ///< coord -> worker: exit the worker loop
+};
+
+/// Append-only little-endian payload builder.
+struct wire_writer {
+  std::vector<std::uint8_t> bytes;
+
+  void u32(std::uint32_t v) {
+    const std::size_t at = bytes.size();
+    bytes.resize(at + 4);
+    std::memcpy(bytes.data() + at, &v, 4);
+  }
+  void u64(std::uint64_t v) {
+    const std::size_t at = bytes.size();
+    bytes.resize(at + 8);
+    std::memcpy(bytes.data() + at, &v, 8);
+  }
+  void raw(const void* data, std::size_t len) {
+    const std::size_t at = bytes.size();
+    bytes.resize(at + len);
+    std::memcpy(bytes.data() + at, data, len);
+  }
+};
+
+/// Sequential payload reader; throws contract_error on truncation.
+class wire_reader {
+ public:
+  explicit wire_reader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  /// Borrows `len` raw bytes (valid while the frame buffer lives).
+  [[nodiscard]] const std::uint8_t* raw(std::size_t len);
+  [[nodiscard]] std::size_t remaining() const { return size_ - at_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+};
+
+/// One end of a rank's socketpair. Owns the fd; counts bytes both ways
+/// (reported in the v5 timing sidecar).
+class channel {
+ public:
+  channel() = default;
+  explicit channel(int fd) : fd_(fd) {}
+  ~channel() { close(); }
+  channel(const channel&) = delete;
+  channel& operator=(const channel&) = delete;
+  channel(channel&& o) noexcept { *this = std::move(o); }
+  channel& operator=(channel&& o) noexcept;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool open() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes one frame (retrying partial writes; throws on error/EPIPE).
+  void send(msg_type type, const wire_writer& payload);
+  /// Reads one frame into `payload`; returns its type. Throws
+  /// contract_error on EOF or a short read (peer died mid-frame).
+  [[nodiscard]] msg_type recv(std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return received_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Creates a connected pair of channels (AF_UNIX socketpair): first for the
+/// coordinator, second for the worker.
+[[nodiscard]] std::pair<channel, channel> make_channel_pair();
+
+}  // namespace rn::dist

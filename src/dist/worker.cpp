@@ -1,0 +1,224 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "core/params.h"
+#include "dist/wire.h"
+#include "graph/generators.h"
+#include "graph/topology.h"
+#include "sim/engine.h"
+
+namespace rn::dist {
+
+void partition_walker::bind(const graph::partitioned_view* view,
+                            unsigned threads) {
+  view_ = view;
+  const unsigned owned = view->last_block() - view->first_block();
+  threads_ = std::max(1u, std::min(threads, owned));
+  hits_.assign(view->node_count(), 0);
+  owner_.assign(view->owned_end() - view->owned_begin(), 0);
+  for (unsigned b = view->first_block(); b < view->last_block(); ++b)
+    for (node_id v = view->plan().block_begin(b);
+         v < view->plan().block_end(b); ++v)
+      owner_[v - view->owned_begin()] =
+          static_cast<std::uint8_t>(b - view->first_block());
+  touched_.assign(owned, {});
+}
+
+void partition_walker::unbind() {
+  view_ = nullptr;
+  hits_.clear();
+  hits_.shrink_to_fit();
+  owner_.clear();
+  owner_.shrink_to_fit();
+  touched_.clear();
+}
+
+void partition_walker::walk_span(std::span<const node_id> tx_ids,
+                                 unsigned first_block, unsigned last_block) {
+  // The view's rows hold only owned-range neighbors; restrict further to
+  // this span's contiguous listener range with one binary search per row
+  // (rows are sorted ascending). Walk order — transmitters in index order,
+  // then row order — matches the serial walk, so each block's first-touch
+  // list comes out in the canonical dispatch order.
+  const node_id lo = view_->plan().block_begin(first_block);
+  const node_id hi = view_->plan().block_end(last_block - 1);
+  std::uint64_t* hits = hits_.data();
+  const std::uint8_t* owner = owner_.data();
+  const node_id base = view_->owned_begin();
+  for (std::uint32_t i = 0; i < tx_ids.size(); ++i) {
+    const std::span<const node_id> row = view_->row(tx_ids[i]);
+    const node_id* a =
+        std::lower_bound(row.data(), row.data() + row.size(), lo);
+    const node_id* row_end = row.data() + row.size();
+    for (; a != row_end && *a < hi; ++a) {
+      const node_id v = *a;
+      const std::uint64_t hs = hits[v];
+      if (hs == 0) touched_[owner[v - base]].push_back(v);
+      hits[v] = ((hs + (1ULL << 32)) & 0xffffffff00000000ULL) | i;
+    }
+  }
+}
+
+void partition_walker::walk(std::span<const node_id> tx_ids) {
+  RN_REQUIRE(view_ != nullptr, "partition_walker is unbound");
+  const unsigned first = view_->first_block();
+  const unsigned owned = view_->last_block() - first;
+  if (threads_ <= 1 || tx_ids.empty()) {
+    if (!tx_ids.empty()) walk_span(tx_ids, first, first + owned);
+    return;
+  }
+  // Contiguous block sub-ranges per thread: disjoint listener ranges mean
+  // disjoint hits_/touched_ writes, and block results are read back in
+  // block order afterwards — the split cannot show up in the output.
+  std::vector<std::thread> team;
+  team.reserve(threads_ - 1);
+  for (unsigned t = 0; t < threads_; ++t) {
+    const unsigned b0 = first + owned * t / threads_;
+    const unsigned b1 = first + owned * (t + 1) / threads_;
+    if (b0 == b1) continue;
+    if (t + 1 == threads_) {
+      walk_span(tx_ids, b0, b1);
+    } else {
+      team.emplace_back([this, tx_ids, b0, b1] { walk_span(tx_ids, b0, b1); });
+    }
+  }
+  for (auto& th : team) th.join();
+}
+
+void partition_walker::clear_round() {
+  for (auto& list : touched_) {
+    for (const node_id v : list) hits_[v] = 0;
+    list.clear();
+  }
+}
+
+namespace {
+
+constexpr unsigned kBlocks = core::kChannelContractBlocks;
+
+/// Builds the rank's partitioned view for a trial. Layered topologies — the
+/// family the n = 10^8 point uses — stream straight from the generator and
+/// never materialize the full graph in the worker; every other kind builds
+/// the graph and filters it down (its footprint is the same as a
+/// single-process trial, which those kinds already fit).
+graph::partitioned_view build_view(const graph::topology_spec& spec,
+                                   unsigned first_block, unsigned last_block) {
+  if (spec.kind == "layered") {
+    // Mirror of the topology registry's layered parameter mapping.
+    graph::layered_options lo;
+    lo.depth = static_cast<std::size_t>(spec.param("depth", 8));
+    lo.width = static_cast<std::size_t>(spec.param("width", 8));
+    lo.edge_prob = spec.param("edge_prob", lo.edge_prob);
+    lo.intra_prob = spec.param("intra_prob", lo.intra_prob);
+    lo.seed = spec.seed;
+    const std::size_t n = 1 + lo.depth * lo.width;
+    return graph::partitioned_view::from_edge_source(
+        n,
+        [&lo](const graph::edge_sink& sink) {
+          graph::for_each_layered_edge(lo, sink);
+        },
+        kBlocks, first_block, last_block);
+  }
+  const graph::graph g = graph::build_topology(spec);
+  std::vector<std::uint32_t> prefix(g.node_count() + 1, 0);
+  std::size_t total = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    total += g.degree(v);
+    prefix[v + 1] = static_cast<std::uint32_t>(total);
+  }
+  return graph::partitioned_view::from_graph(
+      g, graph::compute_block_plan(prefix, kBlocks), first_block, last_block);
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  // A coordinator that died leaves us writing into a closed socket; surface
+  // that as an error return, not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
+  channel ch(fd);
+  std::vector<std::uint8_t> payload;
+  graph::partitioned_view view;
+  partition_walker walker;
+  std::vector<node_id> tx_ids;
+  bool bound = false;
+
+  try {
+    for (;;) {
+      const msg_type type = ch.recv(payload);
+      wire_reader in(payload);
+      switch (type) {
+        case msg_type::setup: {
+          const std::uint32_t rank = in.u32();
+          const std::uint32_t ranks = in.u32();
+          const std::uint32_t blocks = in.u32();
+          const std::uint32_t threads = in.u32();
+          const std::uint64_t seed = in.u64();
+          const std::uint32_t spec_len = in.u32();
+          const auto* text = in.raw(spec_len);
+          RN_REQUIRE(blocks == kBlocks,
+                     "dist setup block count does not match channel-v1");
+          RN_REQUIRE(rank < ranks && ranks <= kBlocks,
+                     "dist setup rank geometry invalid");
+          graph::topology_spec spec = graph::parse_topology_spec(
+              std::string(reinterpret_cast<const char*>(text), spec_len));
+          spec.seed = seed;
+          const unsigned first = kBlocks * rank / ranks;
+          const unsigned last = kBlocks * (rank + 1) / ranks;
+          view = build_view(spec, first, last);
+          walker.bind(&view, threads);
+          bound = true;
+          wire_writer ack;
+          ack.u64(view.node_count());
+          ack.u64(view.adjacency().size());
+          ch.send(msg_type::setup_ack, ack);
+          break;
+        }
+        case msg_type::round: {
+          RN_REQUIRE(bound, "dist round before setup");
+          const std::uint32_t m = in.u32();
+          tx_ids.resize(m);
+          std::memcpy(tx_ids.data(), in.raw(std::size_t{m} * 4),
+                      std::size_t{m} * 4);
+          walker.walk(tx_ids);
+          wire_writer out;
+          for (unsigned b = view.first_block(); b < view.last_block(); ++b) {
+            const std::span<const node_id> ids = walker.touched(b);
+            out.u32(b);
+            out.u32(static_cast<std::uint32_t>(ids.size()));
+            out.raw(ids.data(), ids.size() * 4);
+            for (const node_id v : ids) out.u64(walker.hit_word(v));
+          }
+          ch.send(msg_type::round_results, out);
+          walker.clear_round();
+          break;
+        }
+        case msg_type::teardown: {
+          walker.unbind();
+          view = graph::partitioned_view();
+          bound = false;
+          wire_writer ack;
+          ack.u64(static_cast<std::uint64_t>(sim::process_peak_rss_kb()));
+          ch.send(msg_type::teardown_ack, ack);
+          break;
+        }
+        case msg_type::shutdown:
+          return 0;
+        default:
+          RN_REQUIRE(false, "dist worker received an unknown frame type");
+      }
+    }
+  } catch (const std::exception&) {
+    // Coordinator gone (EOF / EPIPE) or a protocol violation: exit nonzero
+    // so the supervisor's waitpid sees an abnormal worker.
+    return 1;
+  }
+}
+
+}  // namespace rn::dist

@@ -9,34 +9,7 @@
 
 namespace rn::graph {
 
-namespace {
-
-/// Calls fn(j) for every index j in [0, m) that passes an independent
-/// Bernoulli(p) trial, using geometric skip-sampling: one uniform draw per
-/// *success* (plus one trailing miss) instead of one per index. At the
-/// sparse densities the scale sweeps use (p ~ 40/width) this makes G(n,p)
-/// style generation O(edges) instead of O(pairs); at n = 10^5+ that is the
-/// difference between milliseconds and seconds per trial.
-template <class Fn>
-void bernoulli_indices(rng& r, std::size_t m, double p, Fn&& fn) {
-  if (m == 0 || p <= 0.0) return;
-  if (p >= 1.0) {
-    for (std::size_t j = 0; j < m; ++j) fn(j);
-    return;
-  }
-  const double log_q = std::log1p(-p);  // < 0
-  std::size_t j = 0;
-  for (;;) {
-    // Failures before the next success: floor(log(1-u) / log(1-p)).
-    const double skip = std::floor(std::log1p(-r.uniform01()) / log_q);
-    if (skip >= static_cast<double>(m - j)) return;
-    j += static_cast<std::size_t>(skip);
-    fn(j);
-    if (++j >= m) return;
-  }
-}
-
-}  // namespace
+using detail::bernoulli_indices;
 
 graph path(std::size_t n) {
   RN_REQUIRE(n >= 1, "path needs >= 1 node");
@@ -104,32 +77,8 @@ graph caterpillar(std::size_t spine, std::size_t legs) {
 graph random_layered(const layered_options& opt) {
   RN_REQUIRE(opt.depth >= 1 && opt.width >= 1, "layered graph dimensions");
   const std::size_t n = 1 + opt.depth * opt.width;
-  rng r(opt.seed);
   graph::builder b(n);
-  auto layer_node = [&](std::size_t layer, std::size_t i) -> node_id {
-    // Layer 0 is just node 0.
-    return layer == 0 ? 0
-                      : static_cast<node_id>(1 + (layer - 1) * opt.width + i);
-  };
-  auto layer_size = [&](std::size_t layer) -> std::size_t {
-    return layer == 0 ? 1 : opt.width;
-  };
-  for (std::size_t layer = 1; layer <= opt.depth; ++layer) {
-    const std::size_t prev = layer_size(layer - 1);
-    for (std::size_t i = 0; i < layer_size(layer); ++i) {
-      const node_id v = layer_node(layer, i);
-      // Guarantee one parent so BFS depth is exact.
-      b.add_edge(v, layer_node(layer - 1, r.uniform(prev)));
-      bernoulli_indices(r, prev, opt.edge_prob, [&](std::size_t j) {
-        b.add_edge(v, layer_node(layer - 1, j));
-      });
-      if (opt.intra_prob > 0)
-        bernoulli_indices(r, layer_size(layer) - i - 1, opt.intra_prob,
-                          [&](std::size_t j) {
-                            b.add_edge(v, layer_node(layer, i + 1 + j));
-                          });
-    }
-  }
+  for_each_layered_edge(opt, [&](node_id u, node_id v) { b.add_edge(u, v); });
   return std::move(b).build();
 }
 

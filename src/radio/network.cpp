@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "graph/partitioned.h"
 #include "radio/simd_kernels.h"
 
 namespace rn::radio {
@@ -175,6 +176,18 @@ void return_workers(unsigned n) {
   g_budget_used -= std::min(n, g_budget_used);
 }
 
+namespace {
+std::atomic<remote_walk*> g_remote_walk{nullptr};
+}  // namespace
+
+void set_remote_walk(remote_walk* hook) {
+  g_remote_walk.store(hook, std::memory_order_release);
+}
+
+remote_walk* get_remote_walk() {
+  return g_remote_walk.load(std::memory_order_acquire);
+}
+
 /// The intra-trial worker team: `members - 1` persistent helper threads plus
 /// the stepping thread, synchronized per round with a generation counter.
 /// One round runs two phases — A: split every transmitter row at the block
@@ -321,6 +334,14 @@ network::network(const graph::graph& g, model m)
   RN_REQUIRE(m.erasure_prob >= 0.0 && m.erasure_prob < 1.0,
              "erasure probability must be in [0, 1)");
   node_count_ = g.node_count();
+  // A multi-process backend may claim this network's walks: its ranks hold
+  // the partitioned adjacency, so the private CSR copy below — the dominant
+  // per-trial allocation — is skipped entirely in remote mode. Only the
+  // row-offset prefix is kept (it fixes the shard plan and costs 4 bytes
+  // per node).
+  if (remote_walk* hook = get_remote_walk();
+      hook != nullptr && hook->adopt(g))
+    remote_ = hook;
   // Private CSR copy: 32-bit row offsets and a contiguous neighbor array keep
   // the per-round walk cache-linear and independent of the graph's internals.
   // Rows stay sorted ascending (the graph builder's contract), which is what
@@ -333,9 +354,11 @@ network::network(const graph::graph& g, model m)
                "adjacency too large for 32-bit CSR offsets");
     row_start_[v + 1] = static_cast<std::uint32_t>(total);
   }
-  adj_.reserve(total);
-  for (node_id v = 0; v < node_count_; ++v)
-    for (node_id u : g.neighbors(v)) adj_.push_back(u);
+  if (remote_ == nullptr) {
+    adj_.reserve(total);
+    for (node_id v = 0; v < node_count_; ++v)
+      for (node_id u : g.neighbors(v)) adj_.push_back(u);
+  }
 
   hit_state_.assign(node_count_, 0);
   is_transmitting_.assign(node_count_, 0);
@@ -344,17 +367,9 @@ network::network(const graph::graph& g, model m)
   // The reusable shard plan: kNumBlocks contiguous listener ranges with
   // roughly equal adjacency volume (a listener's walk cost is its degree).
   // Recycled across every round; independent of the team size by design.
-  block_bounds_.assign(kNumBlocks + 1, 0);
-  block_bounds_[kNumBlocks] = static_cast<node_id>(node_count_);
-  for (unsigned b = 1; b < kNumBlocks; ++b) {
-    const std::uint32_t target =
-        static_cast<std::uint32_t>(total * b / kNumBlocks);
-    const auto it =
-        std::lower_bound(row_start_.begin(), row_start_.end(), target);
-    auto v = static_cast<node_id>(it - row_start_.begin());
-    if (v > node_count_) v = static_cast<node_id>(node_count_);
-    block_bounds_[b] = std::max(block_bounds_[b - 1], v);
-  }
+  // Shared with the distributed backend (graph/partitioned.h) so every
+  // process derives the identical partition from the degree prefix alone.
+  block_bounds_ = graph::compute_block_plan(row_start_, kNumBlocks).bounds;
   block_of_.assign(node_count_, 0);
   for (unsigned b = 0; b < kNumBlocks; ++b)
     for (node_id v = block_bounds_[b]; v < block_bounds_[b + 1]; ++v)
@@ -366,6 +381,7 @@ network::network(const graph::graph& g, model m)
   for (unsigned b = 0; b < kNumBlocks; ++b)
     block_touched_[b].reset(block_bounds_[b + 1] - block_bounds_[b]);
 
+  if (remote_ != nullptr) return;  // walks are external; no team to build
   const intra_trial_policy pol = get_intra_trial_policy();
   min_parallel_volume_ = pol.min_parallel_volume;
   if (pol.threads >= 2) {
@@ -386,6 +402,7 @@ network::~network() {
   flush_totals();
   team_.reset();
   if (borrowed_workers_ > 0) return_workers(borrowed_workers_);
+  if (remote_ != nullptr) remote_->release(*g_);
 }
 
 void network::flush_totals() {
@@ -475,6 +492,13 @@ void network::prepare_round(const round_buffer& txs) {
     is_transmitting_[u] = 1;
     tx_count_[u] += 1;
     volume += row_start_[u + 1] - row_start_[u];
+  }
+
+  if (remote_ != nullptr) {
+    // The adopted backend must leave hit words and per-block touch lists
+    // exactly as serial_walk would; the dispatch in step() is shared.
+    remote_->walk_round(txs, hit_state_.data(), block_touched_.data());
+    return;
   }
 
   // This round's row-walk kernels (nullptr = inlined scalar walk). Resolved

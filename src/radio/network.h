@@ -205,6 +205,38 @@ void set_worker_budget(unsigned total);
 [[nodiscard]] unsigned borrow_workers(unsigned want);
 void return_workers(unsigned n);
 
+/// Hook through which a multi-process backend (src/dist) takes over the row
+/// walks of stepped rounds. At construction every network offers its
+/// topology to the installed hook; on adoption the network skips its private
+/// adjacency copy and shard team entirely — the memory that matters at
+/// n = 10^8 — and hands each stepped round's transmit list to `walk_round`,
+/// which must leave per-listener hit words and per-block first-touch lists
+/// exactly as the serial walk would. The reception dispatch that follows
+/// (block order, erasure draws, callbacks) is shared and unchanged, which is
+/// what keeps distributed results byte-identical to single-process runs.
+class remote_walk {
+ public:
+  virtual ~remote_walk() = default;
+  /// Offered a network's topology at construction. Return true to claim the
+  /// walks for this network's lifetime (implementations typically match by
+  /// pointer identity against a trial graph they were armed with).
+  virtual bool adopt(const graph::graph& g) = 0;
+  /// Paired with every successful adopt when the network is destroyed.
+  virtual void release(const graph::graph& g) = 0;
+  /// Executes one round's walk: tally every transmitter's hits on every
+  /// listener into `hit_state` (packed count|last-sender words, indexed by
+  /// node id) and append each first-touched listener to its owner entry of
+  /// `block_touched`, in the canonical per-block first-touch order.
+  virtual void walk_round(const round_buffer& txs, std::uint64_t* hit_state,
+                          touch_list* block_touched) = 0;
+};
+
+/// Installs (nullptr clears) the process-wide hook consulted by network
+/// constructors. Installers arm it around a trial and must not race network
+/// construction on other threads (src/dist serializes trials for this).
+void set_remote_walk(remote_walk* hook);
+[[nodiscard]] remote_walk* get_remote_walk();
+
 /// The round engine. Protocol runners provide, per round, the list of
 /// transmitting nodes with their packets; the engine resolves the channel and
 /// reports receptions via callback.
@@ -376,6 +408,10 @@ class network {
   std::vector<std::uint32_t> row_split_;
   std::size_t min_parallel_volume_ = 0;
   unsigned borrowed_workers_ = 0;
+  // Non-null when the process-wide remote-walk hook adopted this network:
+  // stepped rounds route through it instead of the local walks, and adj_
+  // stays empty (the hook's ranks hold the partitioned adjacency).
+  remote_walk* remote_ = nullptr;
   // Auto mode re-polls the worker budget between rounds: a big trial
   // constructed while the pool was busy grows its team as scenario workers
   // finish and return their slots (byte-identical results at any size).

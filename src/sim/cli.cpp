@@ -82,7 +82,13 @@ adhoc_spec to_adhoc_spec(const cli_options& opt) {
   return spec;
 }
 
+timing_extension g_timing_extension;
+
 }  // namespace
+
+void set_timing_extension(timing_extension fn) {
+  g_timing_extension = std::move(fn);
+}
 
 bool parse_cli(int argc, char** argv, cli_options& out) {
   for (int i = 1; i < argc; ++i) {
@@ -358,6 +364,9 @@ int run_suite(int argc, char** argv) {
     timing["experiments"] = std::move(timing_rows);
     timing["total_wall_ms"] = total_wall_ms;
     timing["peak_rss_kb"] = process_peak_rss_kb();
+    // v5 (distributed runs only): the installed extension re-stamps the
+    // schema and adds rank counters — see tools/rn_dist.
+    if (g_timing_extension) g_timing_extension(timing);
     std::ofstream out(opt.timing_path);
     if (!out) {
       std::cerr << "cannot write " << opt.timing_path << "\n";

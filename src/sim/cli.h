@@ -8,9 +8,23 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
+#include "sim/json.h"
+
 namespace rn::sim {
+
+/// Amends the timing sidecar object just before it is written — the seam a
+/// frontend (tools/rn_dist) uses to add execution-backend evidence, e.g.
+/// bumping the schema to rn-bench-timing-v5 and attaching per-rank RSS and
+/// transport counters. Results JSON is never touched: like every other
+/// engine knob, the distributed backend may only show up in the sidecar.
+using timing_extension = std::function<void(json_value& timing)>;
+
+/// Installs (empty clears) the process-wide sidecar amendment, applied by
+/// run_suite after the v4 fields are in place.
+void set_timing_extension(timing_extension fn);
 
 struct cli_options {
   std::string experiment;    ///< id, or "all" (skips slow-labeled sweeps)

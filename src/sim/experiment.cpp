@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <ostream>
 
@@ -37,6 +38,34 @@ std::vector<metric_summary> aggregate(const std::vector<metrics>& per_trial) {
   return out;
 }
 
+namespace {
+
+std::atomic<trial_graph_hook*> g_trial_hook{nullptr};
+
+/// Pairs trial_begin with trial_end even when a probe throws.
+struct trial_hook_scope {
+  trial_graph_hook* hook;
+  const graph::graph* g;
+  trial_hook_scope(trial_graph_hook* h, const graph::topology_spec& spec,
+                   const graph::graph& graph)
+      : hook(h), g(&graph) {
+    if (hook != nullptr) hook->trial_begin(spec, graph);
+  }
+  ~trial_hook_scope() {
+    if (hook != nullptr) hook->trial_end(*g);
+  }
+};
+
+}  // namespace
+
+void set_trial_graph_hook(trial_graph_hook* hook) {
+  g_trial_hook.store(hook, std::memory_order_release);
+}
+
+trial_graph_hook* get_trial_graph_hook() {
+  return g_trial_hook.load(std::memory_order_acquire);
+}
+
 trial_fn make_trial(const scenario& sc) {
   if (sc.run) return sc.run;
   RN_REQUIRE(!sc.probes.empty(),
@@ -47,6 +76,7 @@ trial_fn make_trial(const scenario& sc) {
     graph::topology_spec spec = topology;
     spec.seed = r();
     const graph::graph g = graph::build_topology(spec);
+    const trial_hook_scope hook_scope(get_trial_graph_hook(), spec, g);
     metrics m;
     for (const auto& p : probes) {
       core::options opt = options;

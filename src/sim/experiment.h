@@ -75,6 +75,28 @@ struct scenario {
 /// declarative topology + probes interpreter. Throws if neither is present.
 [[nodiscard]] trial_fn make_trial(const scenario& sc);
 
+/// Observer of declarative trial lifecycles. The distributed backend
+/// (src/dist) installs one to see each trial's resolved topology spec and
+/// freshly built graph *before* any network is constructed — its window to
+/// arm the radio remote-walk hook and ship the spec to worker ranks.
+/// `trial_begin` is called right after `build_topology`, `trial_end` when
+/// the trial's probes are done (including on exception). Escape-hatch
+/// scenarios (`scenario::run`) build no declarative topology and bypass the
+/// hook. Implementations must be safe against concurrent trials from the
+/// scenario pool — the dist session serializes them internally.
+class trial_graph_hook {
+ public:
+  virtual ~trial_graph_hook() = default;
+  virtual void trial_begin(const graph::topology_spec& spec,
+                           const graph::graph& g) = 0;
+  virtual void trial_end(const graph::graph& g) = 0;
+};
+
+/// Installs (nullptr clears) the process-wide trial observer. Set it before
+/// launching a run; swapping it mid-run races the trial pool.
+void set_trial_graph_hook(trial_graph_hook* hook);
+[[nodiscard]] trial_graph_hook* get_trial_graph_hook();
+
 struct experiment {
   std::string id;       ///< CLI name, e.g. "e1"
   std::string title;

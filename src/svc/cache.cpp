@@ -1,8 +1,34 @@
 #include "svc/cache.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
 #include "common/check.h"
 
 namespace rn::svc {
+
+namespace {
+
+constexpr char kSnapshotHeader[] = "rn-cache-snapshot-v1\n";
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+  char b[4] = {char(v & 0xff), char((v >> 8) & 0xff), char((v >> 16) & 0xff),
+               char((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+
+bool get_u32(std::ifstream& in, std::uint32_t& v) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+  v = std::uint32_t(b[0]) | (std::uint32_t(b[1]) << 8) |
+      (std::uint32_t(b[2]) << 16) | (std::uint32_t(b[3]) << 24);
+  return true;
+}
+
+}  // namespace
 
 result_cache::result_cache(std::size_t capacity) : capacity_(capacity) {
   RN_REQUIRE(capacity >= 1, "result cache needs capacity >= 1");
@@ -35,6 +61,83 @@ void result_cache::put(const std::string& key, std::string payload) {
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+bool result_cache::save(const std::string& path) const {
+  // Write-then-rename so a crash mid-save never clobbers the last good
+  // snapshot with a truncated one (load would cold-start on it anyway, but
+  // keeping the previous file beats losing it).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kSnapshotHeader, sizeof(kSnapshotHeader) - 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const entry& e : lru_) {
+      put_u32(out, static_cast<std::uint32_t>(e.first.size()));
+      put_u32(out, static_cast<std::uint32_t>(e.second.size()));
+      out.write(e.first.data(),
+                static_cast<std::streamsize>(e.first.size()));
+      out.write(e.second.data(),
+                static_cast<std::streamsize>(e.second.size()));
+    }
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool result_cache::load(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // missing file: ordinary cold start
+  char header[sizeof(kSnapshotHeader) - 1];
+  if (!in.read(header, sizeof(header)) ||
+      std::string_view(header, sizeof(header)) != kSnapshotHeader)
+    return false;
+
+  // Parse the whole snapshot before accepting any of it: a truncated or
+  // corrupt record invalidates the file, not just its tail.
+  std::vector<entry> entries;
+  for (;;) {
+    std::uint32_t key_len = 0;
+    if (!get_u32(in, key_len)) {
+      if (in.eof() && in.gcount() == 0) break;  // clean end between records
+      return false;
+    }
+    std::uint32_t payload_len = 0;
+    if (!get_u32(in, payload_len)) return false;
+    entry e;
+    e.first.resize(key_len);
+    e.second.resize(payload_len);
+    if (!in.read(e.first.data(), key_len) ||
+        !in.read(e.second.data(), payload_len))
+      return false;
+    entries.push_back(std::move(e));
+  }
+
+  // The file is hottest-first; rebuild the list coldest-first so front ends
+  // up most recently used, dropping overflow (a snapshot from a bigger
+  // cache) from the cold end rather than evicting through the hot one.
+  const std::size_t keep = std::min(entries.size(), capacity_);
+  for (std::size_t i = keep; i-- > 0;) {
+    if (const auto it = index_.find(entries[i].first); it != index_.end()) {
+      lru_.erase(it->second);  // malformed duplicate: the hotter copy wins
+      index_.erase(it);
+    }
+    lru_.emplace_front(std::move(entries[i]));
+    index_[lru_.front().first] = lru_.begin();
+  }
+  return true;
 }
 
 std::size_t result_cache::size() const {

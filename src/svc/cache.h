@@ -6,6 +6,13 @@
 // than the result object is what makes the cache-hit contract trivial to
 // uphold: a hit returns exactly the bytes the batch path produced, because
 // they are the same bytes.
+//
+// Snapshot format (save/load): the ASCII header line "rn-cache-snapshot-v1"
+// followed by one binary record per entry, most recently used first:
+//   [u32 key_len][u32 payload_len][key bytes][payload bytes]
+// Lengths are little-endian. Determinism makes stale entries impossible —
+// a key pins every input of its run — so reload safety reduces to format
+// integrity: any short read or version mismatch falls back to a cold start.
 #pragma once
 
 #include <atomic>
@@ -33,6 +40,19 @@ class result_cache {
   /// key both insert the same bytes (results are deterministic), so
   /// last-writer-wins is benign.
   void put(const std::string& key, std::string payload);
+
+  /// Writes every resident entry to `path` in recency order under the
+  /// "rn-cache-snapshot-v1" header. Best-effort: returns false (leaving any
+  /// previous file untouched where possible) on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Replaces the cache contents with a snapshot previously written by
+  /// `save`, preserving recency order. A missing file, a version-header
+  /// mismatch, or any truncated/corrupt record yields a *cold start*: the
+  /// cache is left empty and `load` returns false. Entries beyond the
+  /// current capacity (a snapshot from a larger cache) are dropped from the
+  /// cold end. Counters are not restored — they describe this process.
+  bool load(const std::string& path);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::int64_t hits() const { return hits_.load(); }

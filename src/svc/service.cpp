@@ -26,6 +26,8 @@ bool job_after(const int pa, const std::uint64_t sa, const int pb,
 service::service(service_config cfg) : cfg_(cfg), cache_(cfg.cache_entries) {
   RN_REQUIRE(cfg_.workers >= 1, "service needs at least one worker");
   RN_REQUIRE(cfg_.max_trials >= 1, "service needs max_trials >= 1");
+  if (!cfg_.cache_file.empty())
+    cache_.load(cfg_.cache_file);  // cold start on miss/corruption by design
   start_ = std::chrono::steady_clock::now();
   register_metrics();
   pool_.reserve(cfg_.workers);
@@ -40,6 +42,9 @@ service::~service() {
   }
   work_cv_.notify_all();
   for (auto& t : pool_) t.join();
+  // Snapshot after the pool joins: every queued run has completed and
+  // put() its payload, so the file holds the final warm set.
+  if (!cfg_.cache_file.empty()) cache_.save(cfg_.cache_file);
 }
 
 void service::register_metrics() {

@@ -45,6 +45,10 @@ struct service_config {
   std::size_t cache_entries = 128;
   /// Per-request trial budget; requests above it answer `over-budget`.
   std::size_t max_trials = 4096;
+  /// When non-empty, the cache is loaded from this snapshot file at
+  /// construction (cold start if missing/corrupt — see result_cache::load)
+  /// and saved back at shutdown, so a restarted daemon keeps its warm set.
+  std::string cache_file = {};
 };
 
 /// Delivers one response line (no trailing newline). May be called from a

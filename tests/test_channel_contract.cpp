@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "dist/session.h"
 #include "graph/topology.h"
 #include "radio/network.h"
 #include "radio/packet.h"
@@ -56,20 +57,16 @@ struct simd_level_guard {
 /// Runs the fixed workload: 24 rounds on layered:depth=20,width=12 (seed 7),
 /// erasure_prob 0.35, transmitters chosen by a fixed modular pattern so each
 /// round mixes single-sender receptions (erasure draws) with collisions.
-trace run_workload(unsigned team_threads) {
+/// The fixed workload's topology: layered:depth=20,width=12 at seed 7.
+graph::topology_spec workload_spec() {
   graph::topology_spec spec =
       graph::parse_topology_spec("layered:depth=20,width=12,edge_prob=0.6");
   spec.seed = 7;
-  const graph::graph g = graph::build_topology(spec);
+  return spec;
+}
 
-  radio::model m;
-  m.collision_detection = true;
-  m.erasure_prob = 0.35;
-  m.erasure_seed = 99;
-  radio::network net(g, m);
-  if (team_threads >= 2) net.enable_intra_trial(team_threads);
-  net.set_min_parallel_volume(0);  // shard every round regardless of volume
-
+/// Steps the 24 fixed rounds on `net` and returns the trace.
+trace run_rounds(radio::network& net) {
   const radio::packet beacon = radio::packet::make_beacon(0);
   digest d;
   radio::round_buffer txs;
@@ -90,6 +87,43 @@ trace run_workload(unsigned team_threads) {
   }
   return {d.h, net.stats().deliveries, net.stats().erasures,
           net.stats().collisions_observed};
+}
+
+radio::model workload_model() {
+  radio::model m;
+  m.collision_detection = true;
+  m.erasure_prob = 0.35;
+  m.erasure_seed = 99;
+  return m;
+}
+
+trace run_workload(unsigned team_threads) {
+  const graph::graph g = graph::build_topology(workload_spec());
+  radio::network net(g, workload_model());
+  if (team_threads >= 2) net.enable_intra_trial(team_threads);
+  net.set_min_parallel_volume(0);  // shard every round regardless of volume
+  return run_rounds(net);
+}
+
+/// Same workload on a fork-only distributed fleet: the session arms the
+/// remote-walk hook for `g`, so the network delegates every stepped round's
+/// reception walk to the rank workers.
+trace run_workload_dist(unsigned ranks, unsigned intra_threads) {
+  dist::session_options so;
+  so.ranks = ranks;
+  so.intra_trial_threads = intra_threads;
+  dist::session s(so);
+
+  const graph::topology_spec spec = workload_spec();
+  const graph::graph g = graph::build_topology(spec);
+  s.trial_begin(spec, g);
+  trace t;
+  {
+    radio::network net(g, workload_model());
+    t = run_rounds(net);
+  }  // the network releases its adoption before the trial tears down
+  s.trial_end(g);
+  return t;
 }
 
 TEST(ChannelContract, NameAndBlockCountArePinned) {
@@ -138,6 +172,26 @@ TEST(ChannelContract, GoldensHoldUnderEveryKernelLevel) {
       EXPECT_EQ(t.deliveries, 305) << radio::to_string(lvl);
       EXPECT_EQ(t.erasures, 181) << radio::to_string(lvl);
       EXPECT_EQ(t.collisions, 3918) << radio::to_string(lvl);
+    }
+  }
+}
+
+// The distributed backend must reproduce the pinned goldens at every rank
+// count (including non-dividing splits of the 32 blocks) and worker thread
+// count. Workers rebuild the topology from the spec and walk only their
+// partitioned CSR slices; matching the frozen digest means the rank
+// partition preserves the block-major dispatch order and hence the
+// erasure-draw mapping — the contract-level statement of the backend's
+// byte-identity claim.
+TEST(ChannelContract, GoldensHoldUnderDistributedBackend) {
+  for (const unsigned ranks : {1u, 2u, 4u}) {
+    for (const unsigned intra : {1u, 2u}) {
+      const trace t = run_workload_dist(ranks, intra);
+      EXPECT_EQ(t.digest_value, 14735693317489780001ULL)
+          << "ranks " << ranks << " x intra " << intra;
+      EXPECT_EQ(t.deliveries, 305) << ranks;
+      EXPECT_EQ(t.erasures, 181) << ranks;
+      EXPECT_EQ(t.collisions, 3918) << ranks;
     }
   }
 }

@@ -1,0 +1,285 @@
+// Distributed backend: the hit-word merge monoid, streamed-vs-filtered
+// partitioned views, partition_walker identity against a serial reference
+// at every rank/thread split, fork-only session byte-identity through the
+// declarative runner, and the crashed-rank structured error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/params.h"
+#include "dist/merge.h"
+#include "dist/session.h"
+#include "dist/worker.h"
+#include "graph/generators.h"
+#include "graph/partitioned.h"
+#include "graph/topology.h"
+#include "sim/adhoc.h"
+#include "sim/experiment.h"
+#include "sim/json.h"
+
+namespace rn::dist {
+namespace {
+
+constexpr unsigned kBlocks = core::kChannelContractBlocks;
+
+// --- hit-word merge monoid ------------------------------------------------
+
+/// The serial walk's per-reception update: transmitter index i touches the
+/// listener holding word hs.
+std::uint64_t serial_update(std::uint64_t hs, std::uint32_t i) {
+  return ((hs + (std::uint64_t{1} << 32)) & 0xffffffff00000000ULL) | i;
+}
+
+TEST(MergeHitWords, MonoidLaws) {
+  std::mt19937_64 r(1234);
+  std::vector<std::uint64_t> words = {0, 1, (std::uint64_t{1} << 32) | 7};
+  for (int k = 0; k < 64; ++k) words.push_back(r());
+  for (const std::uint64_t a : words) {
+    EXPECT_EQ(merge_hit_words(a, 0), a);  // 0 is the identity
+    EXPECT_EQ(merge_hit_words(0, a), a);
+    for (const std::uint64_t b : words) {
+      EXPECT_EQ(merge_hit_words(a, b), merge_hit_words(b, a));
+      for (const std::uint64_t c : words)
+        EXPECT_EQ(merge_hit_words(merge_hit_words(a, b), c),
+                  merge_hit_words(a, merge_hit_words(b, c)));
+    }
+  }
+}
+
+TEST(MergeHitWords, CountWrapsLikeTheSerialWalk) {
+  // The serial update accumulates the count mod 2^32; the merge has to wrap
+  // identically for bit-equality, not merely equivalence.
+  const std::uint64_t a = (0xffffffffULL << 32) | 5;  // count 2^32 - 1
+  const std::uint64_t b = (std::uint64_t{2} << 32) | 7;
+  EXPECT_EQ(merge_hit_words(a, b), (std::uint64_t{1} << 32) | 7);
+}
+
+TEST(MergeHitWords, AnyTransmitterPartitionRecoversTheSerialWord) {
+  // One listener, m transmitters with global indices 0..m-1, a random
+  // subset of which touch it. Split the index set across ranks arbitrarily
+  // (each rank walks its own indices in ascending order, as the walker
+  // does), then merge the partial words in a shuffled rank order: the
+  // result must be bit-equal to the serial left-to-right walk.
+  std::mt19937_64 r(99);
+  for (int rep = 0; rep < 200; ++rep) {
+    const unsigned m = 1 + unsigned(r() % 40);
+    std::vector<std::uint32_t> touching;
+    for (std::uint32_t i = 0; i < m; ++i)
+      if (r() % 2 == 0) touching.push_back(i);
+
+    std::uint64_t serial = 0;
+    for (const std::uint32_t i : touching) serial = serial_update(serial, i);
+
+    const unsigned ranks = 1 + unsigned(r() % 5);
+    std::vector<unsigned> owner(m);
+    for (auto& o : owner) o = unsigned(r() % ranks);
+    std::vector<std::uint64_t> partial(ranks, 0);
+    for (const std::uint32_t i : touching)
+      partial[owner[i]] = serial_update(partial[owner[i]], i);
+
+    std::vector<unsigned> order(ranks);
+    for (unsigned k = 0; k < ranks; ++k) order[k] = k;
+    std::shuffle(order.begin(), order.end(), r);
+    std::uint64_t merged = 0;
+    for (const unsigned k : order)
+      merged = merge_hit_words(merged, partial[k]);
+    ASSERT_EQ(merged, serial) << "rep " << rep;
+  }
+}
+
+TEST(MergeHitWords, BoundaryListenerWithTransmittersInTwoRanks) {
+  // The concrete boundary shape: a listener sits in the last block of rank
+  // A's range; its transmitting neighbors hold global indices {2, 5} on one
+  // rank and {3, 9} on the other. Each rank's partial word walks its own
+  // indices in ascending order; the merge recovers the serial word over
+  // {2, 3, 5, 9} — count 4, last transmitter 9 — in either merge order.
+  std::uint64_t rank_a = 0, rank_b = 0;
+  for (const std::uint32_t i : {2u, 5u}) rank_a = serial_update(rank_a, i);
+  for (const std::uint32_t i : {3u, 9u}) rank_b = serial_update(rank_b, i);
+  std::uint64_t serial = 0;
+  for (const std::uint32_t i : {2u, 3u, 5u, 9u})
+    serial = serial_update(serial, i);
+  EXPECT_EQ(merge_hit_words(rank_a, rank_b), serial);
+  EXPECT_EQ(merge_hit_words(rank_b, rank_a), serial);
+  EXPECT_EQ(serial, (std::uint64_t{4} << 32) | 9);
+}
+
+// --- partitioned views ----------------------------------------------------
+
+graph::block_plan plan_of(const graph::graph& g) {
+  std::vector<std::uint32_t> prefix(g.node_count() + 1, 0);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    prefix[v + 1] = prefix[v] + std::uint32_t(g.degree(v));
+  return graph::compute_block_plan(prefix, kBlocks);
+}
+
+TEST(PartitionedView, StreamedLayeredBuildEqualsFilteredBuild) {
+  graph::layered_options opt;
+  opt.depth = 7;
+  opt.width = 23;
+  opt.edge_prob = 0.2;
+  opt.seed = 31;
+  const graph::graph g = graph::random_layered(opt);
+  const graph::block_plan plan = plan_of(g);
+
+  for (const auto& [first, last] :
+       {std::pair{0u, kBlocks}, {0u, 11u}, {11u, 21u}, {21u, kBlocks}}) {
+    const auto filtered = graph::partitioned_view::from_graph(
+        g, plan, first, last);
+    const auto streamed = graph::partitioned_view::from_edge_source(
+        g.node_count(),
+        [&](const graph::edge_sink& sink) {
+          graph::for_each_layered_edge(
+              opt, [&](node_id u, node_id v) { sink(u, v); });
+        },
+        kBlocks, first, last);
+    ASSERT_EQ(streamed.plan().bounds, plan.bounds)
+        << "streamed degree pass disagreed with the resident graph";
+    EXPECT_EQ(streamed.row_start(), filtered.row_start());
+    EXPECT_EQ(streamed.adjacency(), filtered.adjacency());
+    EXPECT_EQ(streamed.owned_begin(), filtered.owned_begin());
+    EXPECT_EQ(streamed.owned_end(), filtered.owned_end());
+  }
+}
+
+// --- partition walker vs serial reference ---------------------------------
+
+struct reference_walk {
+  std::vector<std::uint64_t> words;             ///< indexed by node id
+  std::vector<std::vector<node_id>> touched;    ///< per block, touch order
+};
+
+reference_walk serial_reference(const graph::graph& g,
+                                const graph::block_plan& plan,
+                                std::span<const node_id> tx_ids) {
+  reference_walk ref;
+  ref.words.assign(g.node_count(), 0);
+  ref.touched.resize(plan.blocks());
+  const auto block_of = [&](node_id v) {
+    return unsigned(std::upper_bound(plan.bounds.begin(), plan.bounds.end(),
+                                     v) -
+                    plan.bounds.begin()) -
+           1;
+  };
+  for (std::size_t i = 0; i < tx_ids.size(); ++i)
+    for (const node_id v : g.neighbors(tx_ids[i])) {
+      std::uint64_t& hs = ref.words[v];
+      if (hs == 0) ref.touched[block_of(v)].push_back(v);
+      hs = serial_update(hs, std::uint32_t(i));
+    }
+  return ref;
+}
+
+TEST(PartitionWalker, MatchesSerialReferenceAtEveryRankAndThreadSplit) {
+  graph::layered_options opt;
+  opt.depth = 6;
+  opt.width = 40;
+  opt.edge_prob = 0.15;
+  opt.seed = 8;
+  const graph::graph g = graph::random_layered(opt);
+  const graph::block_plan plan = plan_of(g);
+  std::mt19937_64 r(5);
+
+  // Rank count 3 exercises the non-dividing split (32 = 11 + 10 + 11).
+  for (const unsigned ranks : {1u, 2u, 3u, 4u}) {
+    std::vector<graph::partitioned_view> views;
+    std::vector<partition_walker> walkers(ranks);
+    views.reserve(ranks);
+    for (unsigned rk = 0; rk < ranks; ++rk)
+      views.push_back(graph::partitioned_view::from_graph(
+          g, plan, kBlocks * rk / ranks, kBlocks * (rk + 1) / ranks));
+
+    for (const unsigned threads : {1u, 3u}) {
+      for (unsigned rk = 0; rk < ranks; ++rk)
+        walkers[rk].bind(&views[rk], threads);
+      for (int round = 0; round < 6; ++round) {
+        std::vector<node_id> txs;
+        for (node_id v = 0; v < g.node_count(); ++v)
+          if (r() % 4 == 0) txs.push_back(v);
+        std::shuffle(txs.begin(), txs.end(), r);  // dispatch order, not id order
+
+        const reference_walk ref = serial_reference(g, plan, txs);
+        for (unsigned rk = 0; rk < ranks; ++rk) {
+          walkers[rk].walk(txs);
+          for (unsigned b = views[rk].first_block();
+               b < views[rk].last_block(); ++b) {
+            const auto got = walkers[rk].touched(b);
+            ASSERT_EQ(std::vector<node_id>(got.begin(), got.end()),
+                      ref.touched[b])
+                << "ranks=" << ranks << " threads=" << threads
+                << " round=" << round << " block=" << b;
+            for (const node_id v : got)
+              ASSERT_EQ(walkers[rk].hit_word(v), ref.words[v]) << "v=" << v;
+          }
+          walkers[rk].clear_round();
+        }
+      }
+      for (unsigned rk = 0; rk < ranks; ++rk) walkers[rk].unbind();
+    }
+  }
+}
+
+// --- fork-only session through the declarative runner ---------------------
+
+TEST(DistSession, ForkOnlyRunIsByteIdenticalToLocal) {
+  // Spawn the fleet before anything in this test grows threads.
+  session_options so;
+  so.ranks = 3;  // non-dividing block split on a real fleet
+  so.intra_trial_threads = 2;
+  session s(so);
+
+  sim::adhoc_spec spec;
+  spec.topology = "layered:depth=6,width=9,edge_prob=0.3";
+  spec.protocols = "decay,gst-known";
+  const sim::experiment e = sim::make_adhoc_experiment(spec);
+  sim::run_config rc;
+  rc.trials = 2;
+  rc.seed = 11;
+
+  const sim::experiment_result local = sim::run_experiment(e, rc);
+  const std::string local_json = sim::to_json(e, local).dump(2);
+
+  s.install();
+  const sim::experiment_result dist = sim::run_experiment(e, rc);
+  s.uninstall();
+  EXPECT_EQ(sim::to_json(e, dist).dump(2), local_json);
+
+  const session_totals t = s.totals();
+  EXPECT_EQ(t.trials, 2u);
+  EXPECT_GT(t.bytes_sent, 0u);
+  EXPECT_GT(t.bytes_received, 0u);
+  ASSERT_EQ(t.peak_rss_kb_per_rank.size(), 3u);
+  for (const std::int64_t kb : t.peak_rss_kb_per_rank) EXPECT_GT(kb, 0);
+}
+
+TEST(DistSession, CrashedWorkerRaisesStructuredError) {
+  // fork+exec of a binary that does not exist: every child _exits(127)
+  // before speaking the protocol, so the first setup round-trip must fail
+  // with a contract_error naming a rank and its wait status — not hang.
+  session_options so;
+  so.ranks = 2;
+  so.worker_exec = "/nonexistent/rn-dist-worker";
+  session s(so);
+
+  graph::topology_spec spec =
+      graph::parse_topology_spec("layered:depth=3,width=4,edge_prob=0.5");
+  spec.seed = 42;
+  const graph::graph g = graph::build_topology(spec);
+  try {
+    s.trial_begin(spec, g);
+    FAIL() << "trial_begin succeeded against a dead fleet";
+  } catch (const contract_error& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+    EXPECT_NE(what.find("exit status 127"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace rn::dist

@@ -3,6 +3,8 @@
 // and the Prometheus metrics exposition.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
@@ -203,6 +205,109 @@ TEST(ResultCache, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.evictions(), 1);
   EXPECT_EQ(cache.hits(), 3);
   EXPECT_EQ(cache.misses(), 1);
+}
+
+// --- snapshot persistence -------------------------------------------------
+
+TEST(ResultCache, SnapshotRoundTripPreservesEntriesAndRecency) {
+  const std::string path = ::testing::TempDir() + "rn_cache_roundtrip.snap";
+  result_cache a(3);
+  a.put("a", "A");
+  a.put("b", "B");
+  a.put("c", "C");
+  EXPECT_TRUE(a.get("a").has_value());  // recency now a > c > b
+  ASSERT_TRUE(a.save(path));
+
+  result_cache b(3);
+  ASSERT_TRUE(b.load(path));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.get("a").value_or(""), "A");
+  EXPECT_EQ(b.get("b").value_or(""), "B");
+  EXPECT_EQ(b.get("c").value_or(""), "C");
+
+  // Recency survived the round trip: "b" was coldest at save time, so with
+  // no post-load touches it is the entry a fresh insert evicts.
+  result_cache c(3);
+  ASSERT_TRUE(c.load(path));
+  c.put("d", "D");
+  EXPECT_FALSE(c.get("b").has_value());
+  EXPECT_TRUE(c.get("a").has_value());
+  EXPECT_TRUE(c.get("c").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, SnapshotIntoSmallerCacheKeepsHottest) {
+  const std::string path = ::testing::TempDir() + "rn_cache_shrink.snap";
+  result_cache big(4);
+  big.put("w", "1");
+  big.put("x", "2");
+  big.put("y", "3");
+  big.put("z", "4");  // recency z > y > x > w
+  ASSERT_TRUE(big.save(path));
+
+  result_cache small(2);
+  ASSERT_TRUE(small.load(path));
+  EXPECT_EQ(small.size(), 2u);
+  EXPECT_TRUE(small.get("z").has_value());
+  EXPECT_TRUE(small.get("y").has_value());
+  EXPECT_FALSE(small.get("x").has_value());
+  EXPECT_FALSE(small.get("w").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, CorruptOrMissingSnapshotColdStarts) {
+  const std::string path = ::testing::TempDir() + "rn_cache_corrupt.snap";
+  std::remove(path.c_str());
+
+  result_cache missing(2);
+  EXPECT_FALSE(missing.load(path));  // no file at all
+  EXPECT_EQ(missing.size(), 0u);
+
+  {  // wrong version header
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "rn-cache-snapshot-v9\n";
+  }
+  result_cache wrong_version(2);
+  EXPECT_FALSE(wrong_version.load(path));
+  EXPECT_EQ(wrong_version.size(), 0u);
+
+  {  // valid header, then a record whose lengths point past EOF
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "rn-cache-snapshot-v1\n";
+    const char rec[] = {8, 0, 0, 0, 127, 0, 0, 0, 'k'};
+    out.write(rec, sizeof(rec));
+  }
+  result_cache truncated(2);
+  truncated.put("warm", "W");  // load replaces, never merges
+  EXPECT_FALSE(truncated.load(path));
+  EXPECT_EQ(truncated.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceRuns, CacheFileCarriesHitsAcrossRestart) {
+  const std::string path = ::testing::TempDir() + "rn_svc_restart.snap";
+  std::remove(path.c_str());
+  const std::string line =
+      "{\"topology\": \"path:n=16\", \"protocols\": \"decay\", "
+      "\"trials\": 2, \"seed\": 9}";
+  std::string first_payload;
+  {
+    service svc(service_config{.workers = 1, .cache_entries = 4,
+                               .cache_file = path});
+    const json_value doc = respond(svc, line);
+    ASSERT_EQ(field(doc, "status"), "ok");
+    EXPECT_EQ(field(doc, "cache"), "miss");
+    first_payload = field(doc, "payload");
+  }  // dtor snapshots to `path`
+  {
+    service svc(service_config{.workers = 1, .cache_entries = 4,
+                               .cache_file = path});
+    const json_value doc = respond(svc, line);
+    ASSERT_EQ(field(doc, "status"), "ok");
+    EXPECT_EQ(field(doc, "cache"), "hit") << "warm start lost the snapshot";
+    EXPECT_EQ(field(doc, "payload"), first_payload);
+  }
+  std::remove(path.c_str());
 }
 
 // --- metrics --------------------------------------------------------------

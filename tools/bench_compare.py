@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Compare two bench timing files and fail on wall-clock regressions.
 
-Inputs are rn-bench-timing-v1..v4 sidecars written by `bench_suite --timing`
+Inputs are rn-bench-timing-v1..v5 sidecars written by `bench_suite --timing`
+(v5 adds the distributed-rank fields emitted by `rn_dist`)
 and/or google-benchmark JSON written by `bench_micro --benchmark_out=...`.
 The file kind is auto-detected. Tracked metrics:
 
@@ -39,7 +40,8 @@ import sys
 # SIMD kernel tier and per-experiment simd/scalar round splits — execution
 # evidence, not timings, so they ride along untracked here.
 TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2",
-                  "rn-bench-timing-v3", "rn-bench-timing-v4")
+                  "rn-bench-timing-v3", "rn-bench-timing-v4",
+                  "rn-bench-timing-v5")
 
 
 def load_metrics(path):

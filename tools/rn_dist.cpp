@@ -1,0 +1,112 @@
+// Multi-process launcher: bench_suite semantics on a rank fleet.
+//
+//   rn_dist --ranks 4 --experiment e1 --trials 8 --json out.json --timing t.json
+//   rn_dist --ranks 4 --intra-trial-threads 2 --topology layered:depth=50,width=200 ...
+//
+// Every flag after --ranks is the bench_suite CLI. The process forks R
+// worker ranks (re-exec'ing this binary with the hidden --rn-worker-fd
+// flag), installs the dist session as the trial observer, and runs the
+// ordinary suite driver: declarative trials execute on the fleet, each rank
+// holding only its partitioned CSR slice. Results JSON is byte-identical to
+// bench_suite at any --ranks / --intra-trial-threads; the timing sidecar is
+// promoted to rn-bench-timing-v5 with per-rank peak RSS, transport byte
+// counts, and coordinator merge time. A crashed rank aborts the run with a
+// structured error naming the rank and its wait status.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/session.h"
+#include "dist/worker.h"
+#include "experiments/experiments.h"
+#include "sim/cli.h"
+#include "sim/engine.h"
+
+namespace {
+
+/// Extracts "--flag N" from args (erasing it); returns fallback when absent.
+bool take_value_flag(std::vector<char*>& args, const std::string& flag,
+                     unsigned& out) {
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (flag != args[i]) continue;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(args[i + 1], &end, 10);
+    if (end == nullptr || *end != '\0') {
+      std::cerr << "bad value for " << flag << ": " << args[i + 1] << "\n";
+      std::exit(2);
+    }
+    out = static_cast<unsigned>(v);
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return true;
+  }
+  return false;
+}
+
+/// Peeks (without erasing — run_suite consumes it too) at a numeric flag.
+unsigned peek_value_flag(const std::vector<char*>& args,
+                         const std::string& flag, unsigned fallback) {
+  for (std::size_t i = 1; i + 1 < args.size(); ++i)
+    if (flag == args[i])
+      return static_cast<unsigned>(std::strtoul(args[i + 1], nullptr, 10));
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hidden worker entry: the coordinator re-execs this binary per rank.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string("--rn-worker-fd") == argv[i]) {
+      return rn::dist::worker_main(std::atoi(argv[i + 1]));
+    }
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  unsigned ranks = 4;
+  take_value_flag(args, "--ranks", ranks);
+
+  rn::bench::register_all();
+
+  rn::dist::session_options opt;
+  opt.ranks = ranks;
+  // In distributed mode the intra-trial knob applies worker-side (the
+  // coordinator's networks delegate their walks); run_suite still parses
+  // the flag for the local fallback paths.
+  opt.intra_trial_threads =
+      std::max(1u, peek_value_flag(args, "--intra-trial-threads", 1));
+  // Re-exec through /proc/self/exe so the fleet runs this exact binary
+  // regardless of how it was invoked.
+  opt.worker_exec = "/proc/self/exe";
+
+  rn::dist::session session(opt);
+  session.install();
+  rn::sim::set_timing_extension([&session](rn::sim::json_value& timing) {
+    timing["schema"] = "rn-bench-timing-v5";
+    timing["ranks"] = static_cast<std::uint64_t>(session.ranks());
+    const rn::dist::session_totals t = session.totals();
+    rn::sim::json_value per_rank = rn::sim::json_value::array();
+    std::int64_t peak = rn::sim::process_peak_rss_kb();  // coordinator
+    for (const std::int64_t kb : t.peak_rss_kb_per_rank) {
+      per_rank.push_back(kb);
+      peak = std::max(peak, kb);
+    }
+    timing["peak_rss_kb_per_rank"] = std::move(per_rank);
+    // Cross-process fix: the top-level peak is the max over the coordinator
+    // and every rank, not the coordinator alone.
+    timing["peak_rss_kb"] = peak;
+    timing["dist_bytes_sent"] = t.bytes_sent;
+    timing["dist_bytes_received"] = t.bytes_received;
+    timing["dist_merge_wall_ms"] = t.merge_wall_ms;
+    timing["dist_trials"] = t.trials;
+  });
+
+  const int rc = rn::sim::run_suite(static_cast<int>(args.size()),
+                                    args.data());
+  rn::sim::set_timing_extension({});
+  session.uninstall();
+  return rc;
+}

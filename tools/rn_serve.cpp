@@ -4,7 +4,8 @@
 // behind one of two newline-delimited-JSON transports:
 //
 //   rn_serve --socket /tmp/rn.sock [--workers 2] [--threads 0]
-//            [--cache 128] [--max-trials 4096] [--metrics-file metrics.prom]
+//            [--cache 128] [--max-trials 4096] [--cache-file cache.snap]
+//            [--metrics-file metrics.prom]
 //   rn_serve --stdio             # request lines on stdin, responses on stdout
 //
 // Request/response grammar: see src/svc/request.h and README "Service
@@ -49,6 +50,9 @@ int usage(const char* argv0) {
       << "  --threads N         trial-pool threads per run (default 0 = auto)\n"
       << "  --cache N           result-cache entries (default 128)\n"
       << "  --max-trials N      per-request trial budget (default 4096)\n"
+      << "  --cache-file PATH   load the result cache from this snapshot at\n"
+      << "                      start (cold start if missing or corrupt) and\n"
+      << "                      save it back at shutdown\n"
       << "  --metrics-file PATH rewrite Prometheus text here after each "
          "response\n";
   return 2;
@@ -221,6 +225,8 @@ int main(int argc, char** argv) {
       opt.svc.cache_entries = std::stoul(v);
     } else if (arg == "--max-trials" && (v = value(i))) {
       opt.svc.max_trials = std::stoul(v);
+    } else if (arg == "--cache-file" && (v = value(i))) {
+      opt.svc.cache_file = v;
     } else {
       return usage(argv[0]);
     }
