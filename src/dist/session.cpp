@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -15,33 +17,62 @@
 namespace rn::dist {
 
 namespace {
+
 constexpr unsigned kBlocks = core::kChannelContractBlocks;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
-session::session(session_options opt) : opt_(std::move(opt)) {
+/// Coordinator-side walker over the resident trial graph for a contiguous
+/// orphaned block range — the degraded-fleet fallback. Built lazily per
+/// (first, last) range and cached for the rest of the trial; walking it is
+/// exactly the rank walk (same view construction, same canonical plan), so
+/// locally covered blocks are byte-identical to remotely computed ones.
+struct session::local_cover {
+  unsigned first = 0;
+  unsigned last = 0;
+  graph::partitioned_view view;
+  partition_walker walker;
+};
+
+session::session(session_options opt)
+    : opt_(std::move(opt)), plan_(fault_plan::parse(opt_.fault_plan)) {
   opt_.ranks = std::max(1u, std::min(opt_.ranks, kBlocks));
   // A dead worker must surface as a write error on its channel, not a
   // SIGPIPE kill of the coordinator.
   std::signal(SIGPIPE, SIG_IGN);
-  spawn_ranks();
+  ranks_.resize(opt_.ranks);
+  for (unsigned r = 0; r < opt_.ranks; ++r) {
+    ranks_[r].first_block = kBlocks * r / opt_.ranks;
+    ranks_[r].last_block = kBlocks * (r + 1) / opt_.ranks;
+    RN_REQUIRE(spawn_rank(r), "fork failed for dist worker rank");
+  }
   rank_peak_rss_kb_.assign(opt_.ranks, 0);
+  applied_.assign(kBlocks, 0);
 }
 
 session::~session() {
   uninstall();
   radio::set_remote_walk(nullptr);
-  for (auto& r : ranks_) {
-    if (r.ch.open()) {
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    auto& rk = ranks_[r];
+    if (rk.ch.open()) {
       try {
-        r.ch.send(msg_type::shutdown, wire_writer{});
+        rk.ch.set_deadline_ms(opt_.policy.round_deadline_ms);
+        rk.ch.send(msg_type::shutdown, wire_writer{});
       } catch (const std::exception&) {
         // Already dead; reaped below either way.
       }
-      r.ch.close();
+      rk.ch.close();
     }
-    if (r.pid > 0) {
+    if (rk.pid > 0) {
       int status = 0;
-      ::waitpid(r.pid, &status, 0);
+      ::waitpid(rk.pid, &status, 0);
     }
   }
 }
@@ -58,62 +89,183 @@ void session::uninstall() {
   }
 }
 
-void session::spawn_ranks() {
-  ranks_.resize(opt_.ranks);
-  for (unsigned r = 0; r < opt_.ranks; ++r) {
-    auto [coord_end, worker_end] = make_channel_pair();
-    const pid_t pid = ::fork();
-    RN_REQUIRE(pid >= 0, "fork failed for dist worker rank");
-    if (pid == 0) {
-      // Child: drop every coordinator-side fd inherited so far, then run
-      // the worker — in-process (fork-only) or via exec of the launcher.
-      coord_end.close();
-      for (unsigned prev = 0; prev < r; ++prev) ranks_[prev].ch.close();
-      if (opt_.worker_exec.empty()) {
-        ::_exit(worker_main(worker_end.fd()));
-      }
-      const std::string fd_arg = std::to_string(worker_end.fd());
-      ::execl(opt_.worker_exec.c_str(), opt_.worker_exec.c_str(),
-              "--rn-worker-fd", fd_arg.c_str(),
-              static_cast<char*>(nullptr));
-      ::_exit(127);  // exec failed; the coordinator sees EOF + status 127
+bool session::spawn_rank(unsigned r) {
+  auto [coord_end, worker_end] = make_channel_pair();
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Child: drop every coordinator-side fd (this rank's replaced channel is
+    // already closed; the others must not leak into the worker, or a dead
+    // coordinator would never produce EOF on them).
+    coord_end.close();
+    for (auto& other : ranks_) other.ch.close();
+    if (opt_.worker_exec.empty()) {
+      ::_exit(worker_main(worker_end.fd()));
     }
-    ranks_[r].ch = std::move(coord_end);
-    ranks_[r].pid = pid;
-    ranks_[r].first_block = kBlocks * r / opt_.ranks;
-    ranks_[r].last_block = kBlocks * (r + 1) / opt_.ranks;
-    // worker_end closes here (parent side), leaving the child the only
-    // holder — its EOF semantics depend on that.
+    const std::string fd_arg = std::to_string(worker_end.fd());
+    ::execl(opt_.worker_exec.c_str(), opt_.worker_exec.c_str(),
+            "--rn-worker-fd", fd_arg.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed; the coordinator sees EOF + status 127
   }
+  ranks_[r].ch = std::move(coord_end);
+  ranks_[r].pid = pid;
+  return true;
+  // worker_end closes here (parent side), leaving the child the only
+  // holder — its EOF semantics depend on that.
 }
 
-void session::report_dead_rank(unsigned r, const std::string& what) {
-  std::string detail = "no wait status";
-  if (ranks_[r].pid > 0) {
+void session::kill_rank(unsigned r) {
+  auto& rk = ranks_[r];
+  if (rk.ch.open()) {
+    // Channels are replaced on respawn; fold their traffic into the session
+    // totals before the counters vanish with the object.
+    bytes_sent_closed_ += rk.ch.bytes_sent();
+    bytes_received_closed_ += rk.ch.bytes_received();
+    rk.ch.close();
+  }
+  if (rk.pid > 0) {
+    ::kill(rk.pid, SIGKILL);
     int status = 0;
-    if (::waitpid(ranks_[r].pid, &status, 0) == ranks_[r].pid) {
-      ranks_[r].pid = -1;
-      if (WIFEXITED(status))
-        detail = "exit status " + std::to_string(WEXITSTATUS(status));
-      else if (WIFSIGNALED(status))
-        detail = "killed by signal " + std::to_string(WTERMSIG(status));
-    }
+    ::waitpid(rk.pid, &status, 0);
+    rk.pid = -1;
   }
-  ranks_[r].ch.close();
-  RN_REQUIRE(false, "dist worker rank " + std::to_string(r) +
-                        " died mid-protocol (" + detail + "): " + what);
 }
 
-void session::recv_expect(unsigned r, msg_type want,
-                          std::vector<std::uint8_t>& out) {
-  msg_type got = msg_type::shutdown;
-  try {
-    got = ranks_[r].ch.recv(out);
-  } catch (const contract_error& e) {
-    report_dead_rank(r, e.what());
+void session::send_setup(unsigned r) {
+  auto& rk = ranks_[r];
+  rk.ch.set_deadline_ms(opt_.policy.setup_deadline_ms);
+  const std::string text = trial_spec_.to_string();
+  wire_writer setup;
+  setup.u32(rk.first_block);
+  setup.u32(rk.last_block);
+  setup.u32(kBlocks);
+  setup.u32(opt_.intra_trial_threads);
+  setup.u64(trial_spec_.seed);
+  setup.u32(static_cast<std::uint32_t>(text.size()));
+  setup.raw(text.data(), text.size());
+  rk.ch.send(msg_type::setup, setup);
+}
+
+void session::recv_setup_ack(unsigned r) {
+  auto& rk = ranks_[r];
+  rk.ch.set_deadline_ms(opt_.policy.setup_deadline_ms);
+  const msg_type got = rk.ch.recv(frame_);
+  if (got != msg_type::setup_ack)
+    throw wire_error(wire_errc::corrupt,
+                     "dist rank " + std::to_string(r) +
+                         " sent an out-of-protocol frame (expected "
+                         "setup_ack)");
+  wire_reader in(frame_);
+  const std::uint64_t n = in.u64();
+  static_cast<void>(in.u64());  // owned adjacency entries (diagnostic)
+  // A node-count mismatch is NOT a rank failure — the spec replayed to a
+  // different graph, so respawning cannot help. Let it escape as a plain
+  // contract violation (fatal), past every recovery catch.
+  RN_REQUIRE(n == trial_node_count_,
+             "dist rank rebuilt a different graph (node count mismatch) "
+             "— topology spec is not replay-deterministic");
+}
+
+void session::resync_rank(unsigned r) {
+  send_setup(r);
+  recv_setup_ack(r);
+  // Replay the trial's completed rounds with want_results = 0. The protocol
+  // is round-stateless worker-side (clear_round after every round), so this
+  // is for protocol-evolution safety, not correctness today; if the log was
+  // dropped (cap) the skip is still byte-identical.
+  if (round_log_dropped_) return;
+  auto& rk = ranks_[r];
+  rk.ch.set_deadline_ms(opt_.policy.round_deadline_ms);
+  for (const auto& section : round_log_) {
+    wire_writer w;
+    w.u8(0);  // replay: no results wanted
+    w.u8(static_cast<std::uint8_t>(fault_kind::none));
+    w.u32(0);
+    w.raw(section.data(), section.size());
+    rk.ch.send(msg_type::round, w);
   }
-  RN_REQUIRE(got == want, "dist rank " + std::to_string(r) +
-                              " sent an out-of-protocol frame");
+}
+
+bool session::respawn_rank(unsigned r, const char* why) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto& rk = ranks_[r];
+  bool up = false;
+  while (!up && rk.respawns_this_trial < opt_.policy.max_respawns) {
+    const unsigned attempt = rk.respawns_this_trial++;
+    ++restarts_;
+    note_rank_restart();
+    const unsigned backoff = backoff_delay_ms(opt_.policy, attempt);
+    std::fprintf(stderr,
+                 "[rn-dist] rank %u %s; respawn attempt %u/%u after %u ms\n",
+                 r, why, attempt + 1, opt_.policy.max_respawns, backoff);
+    kill_rank(r);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    if (!spawn_rank(r)) break;  // fork refused: treat the budget as spent
+    try {
+      resync_rank(r);
+      up = true;
+    } catch (const wire_error&) {
+      // Next attempt (or exhaustion) — the budget strictly decreases.
+    }
+  }
+  const double ms = ms_since(t0);
+  recovery_wall_ms_ += ms;
+  note_recovery_wall_ms(static_cast<std::uint64_t>(ms));
+  return up;
+}
+
+void session::degrade_rank(unsigned r) {
+  auto& rk = ranks_[r];
+  kill_rank(r);
+  rk.state = rank_state::degraded;
+  ++degraded_ranks_;
+  note_degraded_rank();
+  const unsigned owned = rk.last_block - rk.first_block;
+  reassigned_blocks_ += owned;
+  note_reassigned_blocks(owned);
+  needs_reassign_ = true;
+  std::fprintf(stderr,
+               "[rn-dist] rank %u degraded (respawn budget %u exhausted); "
+               "blocks [%u, %u) move to the survivors\n",
+               r, opt_.policy.max_respawns, rk.first_block, rk.last_block);
+}
+
+void session::reassign_blocks() {
+  // Retile the 32 blocks contiguously over the up ranks, in rank order —
+  // the same tiling rule as construction, so a fleet that never lost a rank
+  // is always a fixed point and fault-free runs never resync here.
+  needs_reassign_ = false;
+  std::vector<unsigned> up;
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    auto& rk = ranks_[r];
+    if (rk.state == rank_state::up)
+      up.push_back(r);
+    else
+      rk.first_block = rk.last_block = 0;  // owns nothing
+  }
+  if (up.empty()) return;  // cover_missing carries the whole round locally
+  const auto k = static_cast<unsigned>(up.size());
+  std::vector<unsigned> changed;
+  for (unsigned j = 0; j < k; ++j) {
+    auto& rk = ranks_[up[j]];
+    const unsigned nf = kBlocks * j / k;
+    const unsigned nl = kBlocks * (j + 1) / k;
+    if (nf != rk.first_block || nl != rk.last_block) changed.push_back(up[j]);
+    rk.first_block = nf;
+    rk.last_block = nl;
+  }
+  if (!trial_live_) return;  // trial_begin's setup pass syncs everyone
+  for (const unsigned r : changed) {
+    try {
+      resync_rank(r);
+    } catch (const wire_error&) {
+      if (!respawn_rank(r, "failed during block reassignment"))
+        degrade_rank(r);
+    }
+  }
+  // A survivor dying during the retile shrinks the up set; go again (each
+  // pass retires at least one rank, so this terminates).
+  if (needs_reassign_) reassign_blocks();
 }
 
 void session::trial_begin(const graph::topology_spec& spec,
@@ -123,34 +275,74 @@ void session::trial_begin(const graph::topology_spec& spec,
   // the same thread (the trial hook scope guarantees the pairing).
   trial_mu_.lock();
   try {
-    const std::string text = spec.to_string();
-    for (unsigned r = 0; r < ranks(); ++r) {
-      wire_writer setup;
-      setup.u32(r);
-      setup.u32(ranks());
-      setup.u32(kBlocks);
-      setup.u32(opt_.intra_trial_threads);
-      setup.u64(spec.seed);
-      setup.u32(static_cast<std::uint32_t>(text.size()));
-      setup.raw(text.data(), text.size());
-      try {
-        ranks_[r].ch.send(msg_type::setup, setup);
-      } catch (const contract_error& e) {
-        report_dead_rank(r, e.what());
+    trial_spec_ = spec;
+    trial_node_count_ = g.node_count();
+    trial_index_ = static_cast<std::uint32_t>(trials_);
+    trial_live_ = true;
+    round_index_ = 0;
+    round_log_.clear();
+    round_log_bytes_ = 0;
+    round_log_dropped_ = false;
+    covers_.clear();
+    have_trial_plan_ = false;
+    for (auto& rk : ranks_) rk.respawns_this_trial = 0;
+
+    // Revive ranks lost at a previous trial's teardown: a fresh process and
+    // a fresh respawn budget. Failure to even fork degrades them for good.
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+      auto& rk = ranks_[r];
+      if (rk.state != rank_state::down) continue;
+      if (spawn_rank(r)) {
+        rk.state = rank_state::up;
+        ++restarts_;
+        note_rank_restart();
+      } else {
+        degrade_rank(r);
       }
     }
-    for (unsigned r = 0; r < ranks(); ++r) {
-      recv_expect(r, msg_type::setup_ack, frame_);
-      wire_reader in(frame_);
-      const std::uint64_t n = in.u64();
-      static_cast<void>(in.u64());  // owned adjacency entries (diagnostic)
-      RN_REQUIRE(n == g.node_count(),
-                 "dist rank rebuilt a different graph (node count mismatch) "
-                 "— topology spec is not replay-deterministic");
+
+    // Setup pass over the whole fleet, with recovery. Each iteration either
+    // completes cleanly or degrades at least one rank (changing the tiling),
+    // so the loop runs at most ranks + 1 times.
+    for (;;) {
+      if (needs_reassign_) {
+        // Retile only — the passes below ship the new ranges to everyone.
+        const bool was_live = trial_live_;
+        trial_live_ = false;
+        reassign_blocks();
+        trial_live_ = was_live;
+      }
+      // 0 = pending, 1 = setup sent (ack outstanding), 2 = fully synced
+      // (respawn_rank resyncs internally).
+      std::vector<std::uint8_t> stage(ranks_.size(), 0);
+      for (unsigned r = 0; r < ranks_.size(); ++r) {
+        if (ranks_[r].state != rank_state::up) continue;
+        try {
+          send_setup(r);
+          stage[r] = 1;
+        } catch (const wire_error&) {
+          if (respawn_rank(r, "failed at trial setup"))
+            stage[r] = 2;
+          else
+            degrade_rank(r);
+        }
+      }
+      for (unsigned r = 0; r < ranks_.size(); ++r) {
+        if (ranks_[r].state != rank_state::up || stage[r] != 1) continue;
+        try {
+          recv_setup_ack(r);
+        } catch (const wire_error&) {
+          if (!respawn_rank(r, "failed at trial setup"))
+            degrade_rank(r);
+        }
+      }
+      if (!needs_reassign_) break;
     }
+
     armed_.store(&g, std::memory_order_release);
     radio::set_remote_walk(this);
   } catch (...) {
+    trial_live_ = false;
     trial_mu_.unlock();
     throw;
   }
@@ -162,21 +354,44 @@ void session::trial_end(const graph::graph& g) {
                "dist trial_end for a graph that never began");
     radio::set_remote_walk(nullptr);
     armed_.store(nullptr, std::memory_order_release);
-    for (unsigned r = 0; r < ranks(); ++r) {
+    // Teardown failures mark the rank down — no respawn mid-teardown (there
+    // is nothing left to compute); the next trial_begin revives it.
+    std::vector<std::uint8_t> sent(ranks_.size(), 0);
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+      auto& rk = ranks_[r];
+      if (rk.state != rank_state::up) continue;
+      rk.ch.set_deadline_ms(opt_.policy.setup_deadline_ms);
       try {
-        ranks_[r].ch.send(msg_type::teardown, wire_writer{});
-      } catch (const contract_error& e) {
-        report_dead_rank(r, e.what());
+        rk.ch.send(msg_type::teardown, wire_writer{});
+        sent[r] = 1;
+      } catch (const wire_error&) {
+        kill_rank(r);
+        rk.state = rank_state::down;
       }
     }
-    for (unsigned r = 0; r < ranks(); ++r) {
-      recv_expect(r, msg_type::teardown_ack, frame_);
-      wire_reader in(frame_);
-      rank_peak_rss_kb_[r] = std::max(
-          rank_peak_rss_kb_[r], static_cast<std::int64_t>(in.u64()));
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+      auto& rk = ranks_[r];
+      if (rk.state != rank_state::up || sent[r] != 1) continue;
+      try {
+        const msg_type got = rk.ch.recv(frame_);
+        if (got != msg_type::teardown_ack)
+          throw wire_error(wire_errc::corrupt,
+                           "dist rank " + std::to_string(r) +
+                               " sent an out-of-protocol frame (expected "
+                               "teardown_ack)");
+        wire_reader in(frame_);
+        rank_peak_rss_kb_[r] = std::max(rank_peak_rss_kb_[r],
+                                        static_cast<std::int64_t>(in.u64()));
+      } catch (const wire_error&) {
+        kill_rank(r);
+        rk.state = rank_state::down;
+      }
     }
     ++trials_;
+    trial_live_ = false;
+    covers_.clear();
   } catch (...) {
+    trial_live_ = false;
     trial_mu_.unlock();
     throw;
   }
@@ -191,6 +406,160 @@ void session::release(const graph::graph& g) {
   (void)g;  // nothing rank-side to undo: state is per trial, not per network
 }
 
+void session::send_round_frame(unsigned r, const fault_spec* fault,
+                               bool want_results) {
+  auto& rk = ranks_[r];
+  rk.ch.set_deadline_ms(opt_.policy.round_deadline_ms);
+  wire_writer w;
+  w.u8(want_results ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(fault ? fault->kind : fault_kind::none));
+  w.u32(fault ? fault->arg_ms : 0);
+  w.u32(static_cast<std::uint32_t>(current_txs_.size()));
+  w.raw(current_txs_.data(), current_txs_.size() * 4);
+  rk.ch.send(msg_type::round, w);
+}
+
+void session::collect_round(unsigned r, std::uint64_t* hit_state,
+                            radio::touch_list* block_touched) {
+  auto& rk = ranks_[r];
+  rk.ch.set_deadline_ms(opt_.policy.round_deadline_ms);
+  const msg_type got = rk.ch.recv(frame_);
+  if (got != msg_type::round_results)
+    throw wire_error(wire_errc::corrupt,
+                     "dist rank " + std::to_string(r) +
+                         " sent an out-of-protocol frame (expected "
+                         "round_results)");
+  // Validate the whole frame before applying any of it: a frame that dies
+  // halfway through validation has touched nothing, so the respawned rank's
+  // resend (or a local cover) can apply the same blocks with no trace of
+  // the failed attempt.
+  struct block_ref {
+    std::uint32_t b = 0;
+    std::uint32_t count = 0;
+    const std::uint8_t* ids = nullptr;
+    const std::uint8_t* words = nullptr;
+  };
+  std::vector<block_ref> refs;
+  refs.reserve(rk.last_block - rk.first_block);
+  try {
+    wire_reader in(frame_);
+    unsigned expect_block = rk.first_block;
+    while (in.remaining() > 0) {
+      block_ref ref;
+      ref.b = in.u32();
+      ref.count = in.u32();
+      if (ref.b != expect_block || ref.b >= rk.last_block)
+        throw wire_error(wire_errc::corrupt,
+                         "dist rank returned blocks out of order");
+      ref.ids = in.raw(std::size_t{ref.count} * 4);
+      ref.words = in.raw(std::size_t{ref.count} * 8);
+      refs.push_back(ref);
+      ++expect_block;
+    }
+    if (expect_block != rk.last_block)
+      throw wire_error(wire_errc::corrupt,
+                       "dist rank returned too few blocks");
+  } catch (const wire_error&) {
+    throw;
+  } catch (const contract_error& e) {
+    // wire_reader truncation inside a well-framed payload: same category as
+    // any other corrupt frame — recoverable by respawn, not fatal.
+    throw wire_error(wire_errc::corrupt, e.what());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& ref : refs) {
+    if (applied_[ref.b]) continue;  // recovery already covered it
+    radio::touch_list& touched = block_touched[ref.b];
+    const auto* ids = reinterpret_cast<const node_id*>(ref.ids);
+    for (std::uint32_t k = 0; k < ref.count; ++k) {
+      const node_id v = ids[k];
+      touched.push(v);
+      std::memcpy(&hit_state[v], ref.words + std::size_t{k} * 8, 8);
+    }
+    applied_[ref.b] = 1;
+  }
+  merge_wall_ms_ += ms_since(t0);
+}
+
+void session::recover_round(unsigned r, std::uint64_t* hit_state,
+                            radio::touch_list* block_touched) {
+  for (;;) {
+    if (!respawn_rank(r, "failed mid-round")) {
+      degrade_rank(r);
+      return;  // cover_missing picks up its unapplied blocks this round
+    }
+    if (rank_done(ranks_[r])) return;  // everything already applied
+    try {
+      send_round_frame(r, nullptr, true);  // resend; faults never replay
+      collect_round(r, hit_state, block_touched);
+      return;
+    } catch (const wire_error&) {
+      // Fell over again — loop; the respawn budget strictly decreases.
+    }
+  }
+}
+
+bool session::rank_done(const rank_proc& rk) const {
+  for (unsigned b = rk.first_block; b < rk.last_block; ++b)
+    if (!applied_[b]) return false;
+  return true;
+}
+
+void session::cover_missing(std::uint64_t* hit_state,
+                            radio::touch_list* block_touched) {
+  unsigned b = 0;
+  while (b < kBlocks) {
+    if (applied_[b]) {
+      ++b;
+      continue;
+    }
+    unsigned e = b;
+    while (e < kBlocks && !applied_[e]) ++e;
+    const graph::graph* g = armed_.load(std::memory_order_acquire);
+    RN_REQUIRE(g != nullptr,
+               "dist local cover requested without an armed trial graph");
+    const auto t0 = std::chrono::steady_clock::now();
+    local_cover* cov = nullptr;
+    for (const auto& c : covers_)
+      if (c->first == b && c->last == e) cov = c.get();
+    if (cov == nullptr) {
+      if (!have_trial_plan_) {
+        std::vector<std::uint32_t> prefix(g->node_count() + 1, 0);
+        std::size_t total = 0;
+        for (node_id v = 0; v < g->node_count(); ++v) {
+          total += g->degree(v);
+          prefix[v + 1] = static_cast<std::uint32_t>(total);
+        }
+        trial_plan_ = graph::compute_block_plan(prefix, kBlocks);
+        have_trial_plan_ = true;
+      }
+      auto made = std::make_unique<local_cover>();
+      made->first = b;
+      made->last = e;
+      made->view = graph::partitioned_view::from_graph(*g, trial_plan_, b, e);
+      made->walker.bind(&made->view, opt_.intra_trial_threads);
+      covers_.push_back(std::move(made));
+      cov = covers_.back().get();
+    }
+    cov->walker.walk(current_txs_);
+    for (unsigned blk = b; blk < e; ++blk) {
+      const std::span<const node_id> ids = cov->walker.touched(blk);
+      radio::touch_list& touched = block_touched[blk];
+      for (const node_id v : ids) {
+        touched.push(v);
+        hit_state[v] = cov->walker.hit_word(v);
+      }
+      applied_[blk] = 1;
+    }
+    cov->walker.clear_round();
+    const double ms = ms_since(t0);
+    recovery_wall_ms_ += ms;
+    note_recovery_wall_ms(static_cast<std::uint64_t>(ms));
+    b = e;
+  }
+}
+
 void session::walk_round(const radio::round_buffer& txs,
                          std::uint64_t* hit_state,
                          radio::touch_list* block_touched) {
@@ -199,58 +568,77 @@ void session::walk_round(const radio::round_buffer& txs,
   // idle rounds before this is reached; this covers stepped-but-empty).
   if (txs.empty()) return;
 
-  wire_writer round;
-  round.u32(static_cast<std::uint32_t>(txs.size()));
-  for (std::size_t i = 0; i < txs.size(); ++i) round.u32(txs[i].from);
-  // Write every request before blocking on any reply: ranks work in
-  // parallel, and a dead rank turns the read below into EOF, not a hang.
-  for (unsigned r = 0; r < ranks(); ++r) {
-    try {
-      ranks_[r].ch.send(msg_type::round, round);
-    } catch (const contract_error& e) {
-      report_dead_rank(r, e.what());
-    }
-  }
+  // Round boundary: fold any degradation from the previous round into the
+  // tiling before new work ships.
+  if (needs_reassign_) reassign_blocks();
 
-  const auto t0 = std::chrono::steady_clock::now();
-  for (unsigned r = 0; r < ranks(); ++r) {
-    recv_expect(r, msg_type::round_results, frame_);
-    wire_reader in(frame_);
-    unsigned expect_block = ranks_[r].first_block;
-    while (in.remaining() > 0) {
-      const std::uint32_t b = in.u32();
-      const std::uint32_t count = in.u32();
-      RN_REQUIRE(b == expect_block && b < ranks_[r].last_block,
-                 "dist rank returned blocks out of order");
-      ++expect_block;
-      const auto* ids =
-          reinterpret_cast<const node_id*>(in.raw(std::size_t{count} * 4));
-      const auto* words = in.raw(std::size_t{count} * 8);
-      radio::touch_list& touched = block_touched[b];
-      for (std::uint32_t k = 0; k < count; ++k) {
-        const node_id v = ids[k];
-        touched.push(v);
-        std::memcpy(&hit_state[v], words + std::size_t{k} * 8, 8);
-      }
+  current_txs_.resize(txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) current_txs_[i] = txs[i].from;
+  std::fill(applied_.begin(), applied_.end(), std::uint8_t{0});
+
+  // Write every request before blocking on any reply: ranks work in
+  // parallel, and a dead rank turns the read below into a structured
+  // wire_error (EOF or deadline), never a hang.
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    auto& rk = ranks_[r];
+    if (rk.state != rank_state::up || rk.first_block == rk.last_block)
+      continue;
+    const fault_spec* fault = plan_.take(r, trial_index_, round_index_);
+    try {
+      send_round_frame(r, fault, true);
+    } catch (const wire_error&) {
+      recover_round(r, hit_state, block_touched);
     }
-    RN_REQUIRE(expect_block == ranks_[r].last_block,
-               "dist rank returned too few blocks");
   }
-  merge_wall_ms_ +=
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    auto& rk = ranks_[r];
+    if (rk.state != rank_state::up || rank_done(rk)) continue;
+    try {
+      collect_round(r, hit_state, block_touched);
+    } catch (const wire_error&) {
+      recover_round(r, hit_state, block_touched);
+    }
+  }
+  // Whatever no surviving rank owns (degraded mid-round or earlier) is
+  // walked locally; a healthy fleet leaves nothing and this is a no-op.
+  cover_missing(hit_state, block_touched);
+
+  if (!round_log_dropped_) {
+    const std::size_t section_bytes = 4 + current_txs_.size() * 4;
+    if (round_log_bytes_ + section_bytes > opt_.max_round_log_bytes) {
+      round_log_.clear();
+      round_log_bytes_ = 0;
+      round_log_dropped_ = true;
+    } else {
+      std::vector<std::uint8_t> section(section_bytes);
+      const auto m = static_cast<std::uint32_t>(current_txs_.size());
+      std::memcpy(section.data(), &m, 4);
+      std::memcpy(section.data() + 4, current_txs_.data(),
+                  current_txs_.size() * 4);
+      round_log_.push_back(std::move(section));
+      round_log_bytes_ += section_bytes;
+    }
+  }
+  ++round_index_;
+  ++rounds_;
 }
 
 session_totals session::totals() const {
   session_totals t;
   t.peak_rss_kb_per_rank = rank_peak_rss_kb_;
-  for (const auto& r : ranks_) {
-    t.bytes_sent += r.ch.bytes_sent();
-    t.bytes_received += r.ch.bytes_received();
+  t.bytes_sent = bytes_sent_closed_;
+  t.bytes_received = bytes_received_closed_;
+  for (const auto& rk : ranks_) {
+    t.bytes_sent += rk.ch.bytes_sent();
+    t.bytes_received += rk.ch.bytes_received();
   }
   t.merge_wall_ms = merge_wall_ms_;
   t.trials = trials_;
+  t.rounds = rounds_;
+  t.rank_restarts = restarts_;
+  t.reassigned_blocks = reassigned_blocks_;
+  t.degraded_ranks = degraded_ranks_;
+  t.recovery_wall_ms = recovery_wall_ms_;
   return t;
 }
 

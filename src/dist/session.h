@@ -18,24 +18,40 @@
 //   rank and applies the returned per-block touch lists in ascending block
 //   order, reproducing the serial walk's dispatch state exactly.
 //
-// Failure behavior: a worker that dies mid-protocol surfaces as one
-// rn::contract_error naming the rank and its wait status (exit code or
-// signal) — never a hang, because the coordinator writes all requests
-// before blocking on any reply and a dead peer turns reads into EOF.
+// Failure behavior (the supervision layer, see dist/supervisor.h): every
+// frame exchanged while a trial is live carries a per-phase deadline, so a
+// crashed rank (EOF) and a wedged rank (timeout) are both detected within a
+// bound, never a hang. The session then respawns the rank with bounded
+// exponential backoff — rebuilding its partitioned CSR slice by replaying
+// the edge source and replaying the current trial's rounds from the trial
+// start — or, once the respawn budget is exhausted, retires the rank:
+// its blocks are covered locally for the in-flight round (the coordinator
+// holds the trial graph) and reassigned to the surviving ranks at the next
+// round boundary. Per-rank result frames are validated before any of their
+// blocks are applied, application is tracked per block, and reception
+// dispatch always walks blocks in ascending canonical order — so results
+// JSON is byte-identical to the fault-free (and single-process) run through
+// every recovery path. Faults are injectable on demand via
+// session_options::fault_plan (dist/fault.h).
 //
 // Results are byte-identical to single-process runs at any rank count; the
-// session only ever shows up in the timing sidecar (v5 rank counters).
+// session only ever shows up in the timing sidecar (v6 rank + recovery
+// counters).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include <sys/types.h>
 
+#include "dist/fault.h"
+#include "dist/supervisor.h"
 #include "dist/wire.h"
+#include "graph/partitioned.h"
 #include "graph/topology.h"
 #include "radio/network.h"
 #include "sim/experiment.h"
@@ -52,17 +68,33 @@ struct session_options {
   /// Non-empty: fork+exec this binary with "--rn-worker-fd N" per rank
   /// (tools/rn_dist passes /proc/self/exe). Empty: fork-only — the child
   /// runs worker_main in-process, which tests use; fork-only children must
-  /// be spawned before the process grows threads.
+  /// be spawned (and respawned) from a single-threaded driver.
   std::string worker_exec;
+  /// Detection deadlines + respawn/backoff budget (dist/supervisor.h).
+  supervise_policy policy;
+  /// Deterministic fault plan (dist/fault.h grammar); parsed at
+  /// construction, throws on malformed input. Empty = no faults.
+  std::string fault_plan;
+  /// Replaying a trial's rounds to a respawned rank needs the round log;
+  /// past this many logged bytes the log is dropped for the trial and
+  /// respawned ranks skip replay — still byte-identical, because the worker
+  /// protocol is round-stateless (clear_round after every reply).
+  std::size_t max_round_log_bytes = std::size_t{1} << 30;
 };
 
-/// Cumulative rank-fleet counters for the v5 timing sidecar.
+/// Cumulative rank-fleet counters for the v6 timing sidecar.
 struct session_totals {
   std::vector<std::int64_t> peak_rss_kb_per_rank;  ///< max over trials
   std::uint64_t bytes_sent = 0;      ///< coordinator -> workers, framed
   std::uint64_t bytes_received = 0;  ///< workers -> coordinator, framed
   double merge_wall_ms = 0.0;  ///< receiving + applying block results
   std::uint64_t trials = 0;    ///< trials executed on the rank fleet
+  std::uint64_t rounds = 0;    ///< stepped rounds shipped to the fleet
+  // Recovery counters (also mirrored process-wide: dist/supervisor.h).
+  std::uint64_t rank_restarts = 0;     ///< respawn attempts launched
+  std::uint64_t reassigned_blocks = 0; ///< blocks moved off retired ranks
+  std::uint64_t degraded_ranks = 0;    ///< ranks retired after exhaustion
+  double recovery_wall_ms = 0.0;       ///< wall time inside recovery paths
 };
 
 class session : public radio::remote_walk, public sim::trial_graph_hook {
@@ -97,21 +129,58 @@ class session : public radio::remote_walk, public sim::trial_graph_hook {
                   radio::touch_list* block_touched) override;
 
  private:
+  /// Lifecycle of a rank slot. `up` speaks the protocol; `down` lost its
+  /// process outside a trial (teardown failure) and is revived at the next
+  /// trial_begin; `degraded` exhausted its respawn budget and is retired
+  /// for the rest of the session (its blocks are reassigned).
+  enum class rank_state : std::uint8_t { up, down, degraded };
+
   struct rank_proc {
     channel ch;
     pid_t pid = -1;
     unsigned first_block = 0;
     unsigned last_block = 0;
+    rank_state state = rank_state::up;
+    unsigned respawns_this_trial = 0;
   };
 
-  void spawn_ranks();
-  /// Receives one frame from rank r, expecting `want`; a dead worker is
-  /// reported as a structured contract_error naming the rank and its wait
-  /// status.
-  void recv_expect(unsigned r, msg_type want, std::vector<std::uint8_t>& out);
-  [[noreturn]] void report_dead_rank(unsigned r, const std::string& what);
+  struct local_cover;  ///< coordinator-side walker for orphaned blocks
+
+  [[nodiscard]] bool spawn_rank(unsigned r);
+  void kill_rank(unsigned r);
+  /// setup + setup-ack + round-log replay for the rank's current block
+  /// range; throws wire_error on any failure.
+  void resync_rank(unsigned r);
+  /// Bounded-backoff respawn loop ending in a resynced rank (true) or an
+  /// exhausted budget (false — caller degrades).
+  [[nodiscard]] bool respawn_rank(unsigned r, const char* why);
+  void degrade_rank(unsigned r);
+  /// Round-boundary reassignment: retile the 32 blocks over up ranks and
+  /// resync every survivor whose range changed.
+  void reassign_blocks();
+  void send_setup(unsigned r);
+  void recv_setup_ack(unsigned r);
+  void send_round_frame(unsigned r, const fault_spec* fault,
+                        bool want_results);
+  /// recv + validate + apply one rank's round results. Validation precedes
+  /// any application (per-rank frames apply atomically) and already-applied
+  /// blocks are skipped, so recovery can never double-apply.
+  void collect_round(unsigned r, std::uint64_t* hit_state,
+                     radio::touch_list* block_touched);
+  /// Full mid-round recovery of rank r: respawn/resync (+ resend the
+  /// current round) or degrade. Never throws for rank death — only for
+  /// genuine contract violations (e.g. a respawned rank rebuilding a
+  /// different graph).
+  void recover_round(unsigned r, std::uint64_t* hit_state,
+                     radio::touch_list* block_touched);
+  /// Walks every still-unapplied block range locally on the coordinator's
+  /// resident trial graph (degraded fleet paths).
+  void cover_missing(std::uint64_t* hit_state,
+                     radio::touch_list* block_touched);
+  [[nodiscard]] bool rank_done(const rank_proc& r) const;
 
   session_options opt_;
+  fault_plan plan_;
   std::vector<rank_proc> ranks_;
   bool installed_ = false;
 
@@ -120,9 +189,32 @@ class session : public radio::remote_walk, public sim::trial_graph_hook {
   // networks (and hence call adopt) while the distributed trial is armed.
   std::atomic<const graph::graph*> armed_{nullptr};
 
+  // Per-trial state (valid between trial_begin and trial_end).
+  graph::topology_spec trial_spec_;
+  std::uint64_t trial_node_count_ = 0;
+  bool trial_live_ = false;
+  std::uint32_t trial_index_ = 0;  ///< 0-based once the first trial begins
+  std::uint32_t round_index_ = 0;  ///< stepped rounds within the trial
+  std::vector<std::vector<std::uint8_t>> round_log_;  ///< tx sections
+  std::size_t round_log_bytes_ = 0;
+  bool round_log_dropped_ = false;
+  std::vector<node_id> current_txs_;
+  std::vector<std::uint8_t> applied_;  ///< per block, current round
+  bool needs_reassign_ = false;
+  graph::block_plan trial_plan_;  ///< for local covers; built on demand
+  bool have_trial_plan_ = false;
+  std::vector<std::unique_ptr<local_cover>> covers_;
+
   std::vector<std::int64_t> rank_peak_rss_kb_;
   double merge_wall_ms_ = 0.0;
   std::uint64_t trials_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t reassigned_blocks_ = 0;
+  std::uint64_t degraded_ranks_ = 0;
+  double recovery_wall_ms_ = 0.0;
+  std::uint64_t bytes_sent_closed_ = 0;      ///< counters of replaced channels
+  std::uint64_t bytes_received_closed_ = 0;
   std::vector<std::uint8_t> frame_;  ///< recv scratch (coordinator thread)
 };
 

@@ -1,0 +1,71 @@
+// Supervision policy and process-wide recovery accounting for the
+// distributed backend.
+//
+// The session (dist/session.cpp) detects rank failures — a crashed worker
+// turns channel reads into EOF, a wedged one into a deadline timeout — and
+// drives recovery through this policy:
+//
+//   1. *Respawn*: fork (or fork+exec) a fresh process for the rank, with
+//      bounded exponential backoff between attempts, rebuild its partitioned
+//      CSR slice by replaying the edge source (the setup frame carries the
+//      topology spec), and replay the current trial's rounds from the trial
+//      start so a stateful worker implementation would also land in the
+//      right state. Each rank gets `max_respawns` attempts per trial.
+//   2. *Degrade*: when respawn is exhausted the rank is retired for the rest
+//      of the session; its block range is covered locally for the in-flight
+//      round (the coordinator holds the trial graph) and reassigned to the
+//      surviving ranks at the next round boundary. Because blocks are
+//      applied in canonical ascending order regardless of which process
+//      computes them, results JSON stays byte-identical to the fault-free
+//      run through every path.
+//
+// The counters here are process-wide atomics mirrored from every live
+// session, so observers that do not own the session — the rn_serve
+// Prometheus registry, the rn-bench-timing-v6 sidecar — can report
+// restarts and degradations without plumbing.
+#pragma once
+
+#include <cstdint>
+
+namespace rn::dist {
+
+/// Detection deadlines and the respawn/backoff policy. All knobs surface on
+/// rn_dist (--round-deadline-ms etc.); tests shrink them to keep the fault
+/// matrix fast.
+struct supervise_policy {
+  /// recv deadline for a round-results frame (also every frame sent while a
+  /// trial is live). A rank that exceeds it is treated as wedged: killed,
+  /// then respawned. 0 disables detection (block forever).
+  unsigned round_deadline_ms = 60'000;
+  /// recv deadline for setup/teardown acks — CSR slice builds scale with n,
+  /// so this phase gets a larger budget.
+  unsigned setup_deadline_ms = 300'000;
+  /// Respawn attempts per rank per trial before degrading to reassignment.
+  unsigned max_respawns = 2;
+  /// Exponential backoff before attempt k sleeps min(base << k, cap).
+  unsigned backoff_base_ms = 100;
+  unsigned backoff_cap_ms = 5'000;
+};
+
+/// Backoff before 0-based respawn attempt `attempt`: min(base << attempt,
+/// cap). Pure — tests pin it directly.
+[[nodiscard]] unsigned backoff_delay_ms(const supervise_policy& policy,
+                                        unsigned attempt);
+
+/// Process-wide recovery totals (monotone, relaxed atomics underneath).
+struct recovery_snapshot {
+  std::uint64_t rank_restarts = 0;     ///< respawn attempts launched
+  std::uint64_t reassigned_blocks = 0; ///< blocks moved off retired ranks
+  std::uint64_t degraded_ranks = 0;    ///< ranks retired after exhaustion
+  std::uint64_t recovery_wall_ms = 0;  ///< wall time inside recovery paths
+};
+
+[[nodiscard]] recovery_snapshot recovery_counters();
+
+/// Mirrors called by the session as recoveries happen.
+void note_rank_restart();
+void note_reassigned_blocks(std::uint64_t blocks);
+void note_degraded_rank();
+void note_recovery_wall_ms(std::uint64_t ms);
+
+}  // namespace rn::dist

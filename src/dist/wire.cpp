@@ -1,14 +1,19 @@
 #include "dist/wire.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "common/check.h"
-
 namespace rn::dist {
+
+std::uint8_t wire_reader::u8() {
+  RN_REQUIRE(at_ + 1 <= size_, "dist frame truncated (u8)");
+  return data_[at_++];
+}
 
 std::uint32_t wire_reader::u32() {
   RN_REQUIRE(at_ + 4 <= size_, "dist frame truncated (u32)");
@@ -37,6 +42,8 @@ channel& channel::operator=(channel&& o) noexcept {
   if (this != &o) {
     close();
     fd_ = o.fd_;
+    deadline_ms_ = o.deadline_ms_;
+    max_frame_ = o.max_frame_;
     sent_ = o.sent_;
     received_ = o.received_;
     o.fd_ = -1;
@@ -53,34 +60,93 @@ void channel::close() {
 
 namespace {
 
-void write_all(int fd, const void* data, std::size_t len) {
+using steady = std::chrono::steady_clock;
+
+/// One whole-frame deadline shared by every partial read/write of the frame.
+/// `armed == false` blocks indefinitely.
+struct frame_deadline {
+  bool armed;
+  steady::time_point until;
+
+  explicit frame_deadline(unsigned ms)
+      : armed(ms > 0), until(steady::now() + std::chrono::milliseconds(ms)) {}
+
+  /// Remaining budget for poll(): -1 = infinite, 0 = already expired.
+  [[nodiscard]] int remaining_ms() const {
+    if (!armed) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          until - steady::now())
+                          .count();
+    return left <= 0 ? 0 : static_cast<int>(left);
+  }
+};
+
+[[noreturn]] void throw_errno(const char* op) {
+  throw wire_error(wire_errc::io, std::string("dist channel ") + op +
+                                      " failed: " + std::strerror(errno));
+}
+
+/// Blocks (poll, EINTR-safe) until fd is ready for `events` or the deadline
+/// expires; throws wire_errc::timeout on expiry.
+void wait_ready(int fd, short events, const frame_deadline& dl,
+                const char* phase) {
+  for (;;) {
+    const int budget = dl.remaining_ms();
+    if (budget == 0)
+      throw wire_error(wire_errc::timeout,
+                       std::string("dist channel deadline expired (") + phase +
+                           ")");
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // recompute the remaining budget
+      throw_errno("poll");
+    }
+    if (rc > 0) return;
+    // rc == 0: poll's own timeout — loop so the frame deadline (not poll's
+    // millisecond rounding) decides when to give up.
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t len,
+               const frame_deadline& dl) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
+    wait_ready(fd, POLLOUT, dl, "write");
     const ssize_t n = ::write(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      RN_REQUIRE(false, std::string("dist channel write failed: ") +
-                            std::strerror(errno));
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw wire_error(wire_errc::closed,
+                         "dist peer closed the channel (write)");
+      throw_errno("write");
     }
     p += n;
     len -= static_cast<std::size_t>(n);
   }
 }
 
-/// Returns false on clean EOF at a frame boundary-less position — the
-/// caller decides whether that is a crash. Partial reads keep looping.
-bool read_all(int fd, void* data, std::size_t len) {
+/// Returns false on clean EOF before the first byte — the caller decides
+/// whether that is a crash. EOF after any byte throws (mid-frame death
+/// desynchronizes the framing; the channel must be discarded).
+bool read_all(int fd, void* data, std::size_t len, const frame_deadline& dl) {
   auto* p = static_cast<std::uint8_t*>(data);
   bool any = false;
   while (len > 0) {
+    wait_ready(fd, POLLIN, dl, "read");
     const ssize_t n = ::read(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      RN_REQUIRE(false, std::string("dist channel read failed: ") +
-                            std::strerror(errno));
+      if (errno == ECONNRESET)
+        throw wire_error(wire_errc::closed,
+                         "dist peer reset the channel (read)");
+      throw_errno("read");
     }
     if (n == 0) {
-      RN_REQUIRE(!any, "dist peer closed mid-frame");
+      if (any)
+        throw wire_error(wire_errc::closed, "dist peer closed mid-frame");
       return false;
     }
     any = true;
@@ -93,29 +159,42 @@ bool read_all(int fd, void* data, std::size_t len) {
 }  // namespace
 
 void channel::send(msg_type type, const wire_writer& payload) {
+  send_truncated(type, payload, payload.bytes.size());
+}
+
+void channel::send_truncated(msg_type type, const wire_writer& payload,
+                             std::size_t wire_bytes) {
   RN_REQUIRE(open(), "dist channel is closed");
+  const frame_deadline dl(deadline_ms_);
   const auto body = static_cast<std::uint32_t>(1 + payload.bytes.size());
   std::uint8_t header[5];
   std::memcpy(header, &body, 4);
   header[4] = static_cast<std::uint8_t>(type);
-  write_all(fd_, header, sizeof(header));
-  if (!payload.bytes.empty())
-    write_all(fd_, payload.bytes.data(), payload.bytes.size());
-  sent_ += sizeof(header) + payload.bytes.size();
+  write_all(fd_, header, sizeof(header), dl);
+  const std::size_t n = std::min(wire_bytes, payload.bytes.size());
+  if (n > 0) write_all(fd_, payload.bytes.data(), n, dl);
+  sent_ += sizeof(header) + n;
 }
 
 msg_type channel::recv(std::vector<std::uint8_t>& payload) {
   RN_REQUIRE(open(), "dist channel is closed");
+  const frame_deadline dl(deadline_ms_);
   std::uint8_t header[5];
-  RN_REQUIRE(read_all(fd_, header, sizeof(header)),
-             "dist peer closed the channel");
+  if (!read_all(fd_, header, sizeof(header), dl))
+    throw wire_error(wire_errc::closed, "dist peer closed the channel");
   std::uint32_t body = 0;
   std::memcpy(&body, header, 4);
-  RN_REQUIRE(body >= 1, "dist frame has no type byte");
+  if (body < 1)
+    throw wire_error(wire_errc::corrupt, "dist frame has no type byte");
+  if (body - 1 > max_frame_)
+    throw wire_error(wire_errc::corrupt,
+                     "dist frame length " + std::to_string(body - 1) +
+                         " exceeds the " + std::to_string(max_frame_) +
+                         "-byte cap (corrupt or desynced peer)");
   payload.resize(body - 1);
-  if (!payload.empty())
-    RN_REQUIRE(read_all(fd_, payload.data(), payload.size()),
-               "dist peer closed mid-frame");
+  if (!payload.empty() &&
+      !read_all(fd_, payload.data(), payload.size(), dl))
+    throw wire_error(wire_errc::closed, "dist peer closed mid-frame");
   received_ += sizeof(header) + payload.size();
   return static_cast<msg_type>(header[4]);
 }

@@ -1,13 +1,17 @@
 #include "dist/worker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/check.h"
 #include "core/params.h"
+#include "dist/fault.h"
 #include "dist/wire.h"
 #include "graph/generators.h"
 #include "graph/topology.h"
@@ -155,8 +159,11 @@ int worker_main(int fd) {
       wire_reader in(payload);
       switch (type) {
         case msg_type::setup: {
-          const std::uint32_t rank = in.u32();
-          const std::uint32_t ranks = in.u32();
+          // The block range is explicit (not derived from rank/ranks): the
+          // supervisor reassigns ranges mid-session when a rank degrades,
+          // and a worker only ever needs to know which slice to rebuild.
+          const std::uint32_t first = in.u32();
+          const std::uint32_t last = in.u32();
           const std::uint32_t blocks = in.u32();
           const std::uint32_t threads = in.u32();
           const std::uint64_t seed = in.u64();
@@ -164,13 +171,11 @@ int worker_main(int fd) {
           const auto* text = in.raw(spec_len);
           RN_REQUIRE(blocks == kBlocks,
                      "dist setup block count does not match channel-v1");
-          RN_REQUIRE(rank < ranks && ranks <= kBlocks,
-                     "dist setup rank geometry invalid");
+          RN_REQUIRE(first < last && last <= kBlocks,
+                     "dist setup block range invalid");
           graph::topology_spec spec = graph::parse_topology_spec(
               std::string(reinterpret_cast<const char*>(text), spec_len));
           spec.seed = seed;
-          const unsigned first = kBlocks * rank / ranks;
-          const unsigned last = kBlocks * (rank + 1) / ranks;
           view = build_view(spec, first, last);
           walker.bind(&view, threads);
           bound = true;
@@ -182,20 +187,40 @@ int worker_main(int fd) {
         }
         case msg_type::round: {
           RN_REQUIRE(bound, "dist round before setup");
+          const std::uint8_t flags = in.u8();
+          const auto fault = static_cast<fault_kind>(in.u8());
+          const std::uint32_t fault_arg_ms = in.u32();
+          const bool want_results = (flags & 1u) != 0;
+          // Coordinator-injected faults (dist/fault.h). `kill` models a
+          // crash before the round is processed; `drop` a wedged rank the
+          // coordinator's deadline must catch; `truncate` death mid-write.
+          if (fault == fault_kind::kill) ::_exit(42);
+          if (fault == fault_kind::drop) break;
           const std::uint32_t m = in.u32();
           tx_ids.resize(m);
           std::memcpy(tx_ids.data(), in.raw(std::size_t{m} * 4),
                       std::size_t{m} * 4);
           walker.walk(tx_ids);
-          wire_writer out;
-          for (unsigned b = view.first_block(); b < view.last_block(); ++b) {
-            const std::span<const node_id> ids = walker.touched(b);
-            out.u32(b);
-            out.u32(static_cast<std::uint32_t>(ids.size()));
-            out.raw(ids.data(), ids.size() * 4);
-            for (const node_id v : ids) out.u64(walker.hit_word(v));
+          if (want_results) {
+            wire_writer out;
+            for (unsigned b = view.first_block(); b < view.last_block();
+                 ++b) {
+              const std::span<const node_id> ids = walker.touched(b);
+              out.u32(b);
+              out.u32(static_cast<std::uint32_t>(ids.size()));
+              out.raw(ids.data(), ids.size() * 4);
+              for (const node_id v : ids) out.u64(walker.hit_word(v));
+            }
+            if (fault == fault_kind::delay)
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(fault_arg_ms));
+            if (fault == fault_kind::truncate) {
+              ch.send_truncated(msg_type::round_results, out,
+                                out.bytes.size() / 2);
+              ::_exit(43);
+            }
+            ch.send(msg_type::round_results, out);
           }
-          ch.send(msg_type::round_results, out);
           walker.clear_round();
           break;
         }

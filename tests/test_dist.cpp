@@ -1,20 +1,29 @@
 // Distributed backend: the hit-word merge monoid, streamed-vs-filtered
 // partitioned views, partition_walker identity against a serial reference
 // at every rank/thread split, fork-only session byte-identity through the
-// declarative runner, and the crashed-rank structured error.
+// declarative runner, wire-level fuzz of the framing error paths, and the
+// fault matrix — injected crashes, wedges, truncations, and delays must
+// recover (respawn or degrade) with byte-identical results JSON.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <span>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/check.h"
 #include "core/params.h"
+#include "dist/fault.h"
 #include "dist/merge.h"
 #include "dist/session.h"
+#include "dist/supervisor.h"
+#include "dist/wire.h"
 #include "dist/worker.h"
 #include "graph/generators.h"
 #include "graph/partitioned.h"
@@ -258,27 +267,313 @@ TEST(DistSession, ForkOnlyRunIsByteIdenticalToLocal) {
   for (const std::int64_t kb : t.peak_rss_kb_per_rank) EXPECT_GT(kb, 0);
 }
 
-TEST(DistSession, CrashedWorkerRaisesStructuredError) {
-  // fork+exec of a binary that does not exist: every child _exits(127)
-  // before speaking the protocol, so the first setup round-trip must fail
-  // with a contract_error naming a rank and its wait status — not hang.
-  session_options so;
-  so.ranks = 2;
-  so.worker_exec = "/nonexistent/rn-dist-worker";
-  session s(so);
+// --- wire-level fuzz: framing failures are structured, never hangs --------
 
-  graph::topology_spec spec =
-      graph::parse_topology_spec("layered:depth=3,width=4,edge_prob=0.5");
-  spec.seed = 42;
-  const graph::graph g = graph::build_topology(spec);
+TEST(WireFuzz, TruncatedLengthPrefixIsStructuredClosed) {
+  auto [a, b] = make_channel_pair();
+  const std::uint8_t partial[2] = {9, 0};  // 2 of the 4 length bytes, then EOF
+  ASSERT_EQ(::write(a.fd(), partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  a.close();
+  b.set_deadline_ms(2000);
+  std::vector<std::uint8_t> payload;
   try {
-    s.trial_begin(spec, g);
-    FAIL() << "trial_begin succeeded against a dead fleet";
-  } catch (const contract_error& ex) {
-    const std::string what = ex.what();
-    EXPECT_NE(what.find("rank"), std::string::npos) << what;
-    EXPECT_NE(what.find("exit status 127"), std::string::npos) << what;
+    (void)b.recv(payload);
+    FAIL() << "recv accepted a truncated length prefix";
+  } catch (const wire_error& e) {
+    EXPECT_EQ(e.kind(), wire_errc::closed);
   }
+}
+
+TEST(WireFuzz, OversizedLengthPrefixIsStructuredCorrupt) {
+  auto [a, b] = make_channel_pair();
+  b.set_max_frame_bytes(1024);
+  std::uint8_t header[5];
+  const std::uint32_t body = 1u << 20;  // claims 1 MiB against a 1 KiB cap
+  std::memcpy(header, &body, 4);
+  header[4] = static_cast<std::uint8_t>(msg_type::round);
+  ASSERT_EQ(::write(a.fd(), header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  b.set_deadline_ms(2000);
+  std::vector<std::uint8_t> payload;
+  try {
+    (void)b.recv(payload);
+    FAIL() << "recv accepted an oversized length prefix";
+  } catch (const wire_error& e) {
+    EXPECT_EQ(e.kind(), wire_errc::corrupt);
+  }
+}
+
+TEST(WireFuzz, ZeroLengthFrameIsStructuredCorrupt) {
+  auto [a, b] = make_channel_pair();
+  std::uint8_t header[5] = {0, 0, 0, 0, 0};  // body 0: no room for a type byte
+  ASSERT_EQ(::write(a.fd(), header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  b.set_deadline_ms(2000);
+  std::vector<std::uint8_t> payload;
+  try {
+    (void)b.recv(payload);
+    FAIL() << "recv accepted a zero-length frame";
+  } catch (const wire_error& e) {
+    EXPECT_EQ(e.kind(), wire_errc::corrupt);
+  }
+}
+
+TEST(WireFuzz, MidFrameEofIsStructuredClosed) {
+  auto [a, b] = make_channel_pair();
+  wire_writer w;
+  for (std::uint32_t i = 0; i < 64; ++i) w.u32(i);
+  a.send_truncated(msg_type::round_results, w, w.bytes.size() / 2);
+  a.close();  // peer died mid-write
+  b.set_deadline_ms(2000);
+  std::vector<std::uint8_t> payload;
+  try {
+    (void)b.recv(payload);
+    FAIL() << "recv accepted a frame shorter than its length prefix";
+  } catch (const wire_error& e) {
+    EXPECT_EQ(e.kind(), wire_errc::closed);
+    EXPECT_NE(std::string(e.what()).find("mid-frame"), std::string::npos);
+  }
+}
+
+TEST(WireFuzz, RecvDeadlineExpiresInsteadOfHanging) {
+  auto [a, b] = make_channel_pair();
+  b.set_deadline_ms(100);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> payload;
+  try {
+    (void)b.recv(payload);  // nothing will ever arrive
+    FAIL() << "recv returned without data";
+  } catch (const wire_error& e) {
+    EXPECT_EQ(e.kind(), wire_errc::timeout);
+  }
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(ms, 90) << "deadline fired early";
+  EXPECT_LT(ms, 5000) << "deadline overshot by far too much";
+  a.close();
+}
+
+// --- fault plan + supervision policy units --------------------------------
+
+TEST(FaultPlan, ParsesAndFiresEachEntryOnce) {
+  fault_plan p = fault_plan::parse(
+      "kill:rank=1,trial=0,round=4;delay:rank=0,trial=1,round=2,ms=50");
+  EXPECT_EQ(p.take(0, 0, 4), nullptr);  // wrong rank
+  EXPECT_EQ(p.take(1, 0, 3), nullptr);  // wrong round
+  const fault_spec* f = p.take(1, 0, 4);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind, fault_kind::kill);
+  EXPECT_EQ(p.take(1, 0, 4), nullptr);  // one-shot: consumed at send time
+  const fault_spec* d = p.take(0, 1, 2);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, fault_kind::delay);
+  EXPECT_EQ(d->arg_ms, 50u);
+  EXPECT_TRUE(fault_plan::parse("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedEntries) {
+  EXPECT_THROW((void)fault_plan::parse("explode:rank=0,trial=0,round=0"),
+               contract_error);
+  EXPECT_THROW((void)fault_plan::parse("kill:rank=0"), contract_error);
+  EXPECT_THROW((void)fault_plan::parse("kill:rank=0,trial=0,round=0,bogus=1"),
+               contract_error);
+  EXPECT_THROW((void)fault_plan::parse("kill:rank=x,trial=0,round=0"),
+               contract_error);
+  EXPECT_THROW((void)fault_plan::parse("delay:rank=0,trial=0,round=0"),
+               contract_error);  // delay needs ms=
+}
+
+TEST(SupervisePolicy, BackoffIsBoundedExponential) {
+  supervise_policy p;
+  p.backoff_base_ms = 100;
+  p.backoff_cap_ms = 5000;
+  EXPECT_EQ(backoff_delay_ms(p, 0), 100u);
+  EXPECT_EQ(backoff_delay_ms(p, 1), 200u);
+  EXPECT_EQ(backoff_delay_ms(p, 2), 400u);
+  EXPECT_EQ(backoff_delay_ms(p, 10), 5000u);   // capped
+  EXPECT_EQ(backoff_delay_ms(p, 63), 5000u);   // shift clamp: no overflow
+}
+
+// --- fault matrix: recovery is byte-identical ------------------------------
+
+struct run_outcome {
+  std::string json;
+  session_totals totals;
+};
+
+/// Runs the experiment through a fresh fleet and returns the results JSON
+/// plus the session counters. rc must be effectively single-threaded: the
+/// fork-only fleet respawns ranks mid-run, and forking a multithreaded
+/// driver is not safe.
+run_outcome run_dist(const sim::experiment& e, const sim::run_config& rc,
+                     session_options so) {
+  session s(std::move(so));
+  s.install();
+  const sim::experiment_result res = sim::run_experiment(e, rc);
+  s.uninstall();
+  return {sim::to_json(e, res).dump(2), s.totals()};
+}
+
+struct fault_fixture {
+  sim::experiment e;
+  sim::run_config rc;
+  std::string local_json;
+
+  fault_fixture() {
+    sim::adhoc_spec spec;
+    spec.topology = "layered:depth=6,width=9,edge_prob=0.3";
+    spec.protocols = "decay,gst-known";
+    e = sim::make_adhoc_experiment(spec);
+    rc.trials = 1;
+    rc.threads = 1;  // single-threaded driver: fork-only respawn is safe
+    rc.seed = 11;
+    local_json =
+        sim::to_json(e, sim::run_experiment(e, rc)).dump(2);
+  }
+};
+
+session_options fast_recovery_options(unsigned ranks) {
+  session_options so;
+  so.ranks = ranks;
+  so.policy.round_deadline_ms = 500;  // wedge detection the tests can afford
+  so.policy.backoff_base_ms = 1;
+  so.policy.backoff_cap_ms = 4;
+  return so;
+}
+
+TEST(DistFaultMatrix, KilledRankIsByteIdenticalAtEveryRoundAndVictim) {
+  const fault_fixture fx;
+
+  // Learn the trial's stepped-round count from a fault-free fleet run
+  // (default deadlines: a loaded CI runner must not trip a spurious
+  // respawn here — the counters are asserted exactly).
+  std::uint64_t rounds = 0;
+  {
+    session_options clean_so;
+    clean_so.ranks = 2;
+    const run_outcome clean = run_dist(fx.e, fx.rc, clean_so);
+    ASSERT_EQ(clean.json, fx.local_json);
+    EXPECT_EQ(clean.totals.rank_restarts, 0u);
+    EXPECT_EQ(clean.totals.reassigned_blocks, 0u);
+    rounds = clean.totals.rounds;
+  }
+  ASSERT_GE(rounds, 3u) << "fixture too small to probe first/middle/last";
+
+  const std::uint32_t probes[3] = {0u, static_cast<std::uint32_t>(rounds / 2),
+                                   static_cast<std::uint32_t>(rounds - 1)};
+  for (const unsigned ranks : {2u, 4u}) {
+    for (unsigned victim = 0; victim < ranks; ++victim) {
+      for (const std::uint32_t round : probes) {
+        session_options so = fast_recovery_options(ranks);
+        so.fault_plan = "kill:rank=" + std::to_string(victim) +
+                        ",trial=0,round=" + std::to_string(round);
+        const run_outcome got = run_dist(fx.e, fx.rc, so);
+        ASSERT_EQ(got.json, fx.local_json)
+            << "ranks=" << ranks << " victim=" << victim
+            << " round=" << round;
+        EXPECT_GE(got.totals.rank_restarts, 1u);
+        EXPECT_EQ(got.totals.degraded_ranks, 0u);
+        EXPECT_GT(got.totals.recovery_wall_ms, 0.0);
+      }
+    }
+  }
+}
+
+TEST(DistFaultMatrix, WedgedRankIsDetectedByDeadlineAndRecovers) {
+  const fault_fixture fx;
+  session_options so = fast_recovery_options(2);
+  so.policy.round_deadline_ms = 200;
+  so.fault_plan = "drop:rank=1,trial=0,round=1";
+  const run_outcome got = run_dist(fx.e, fx.rc, so);
+  EXPECT_EQ(got.json, fx.local_json);
+  EXPECT_GE(got.totals.rank_restarts, 1u);
+  EXPECT_EQ(got.totals.degraded_ranks, 0u);
+}
+
+TEST(DistFaultMatrix, TruncatedResultFrameRecovers) {
+  const fault_fixture fx;
+  session_options so = fast_recovery_options(2);
+  so.fault_plan = "truncate:rank=0,trial=0,round=1";
+  const run_outcome got = run_dist(fx.e, fx.rc, so);
+  EXPECT_EQ(got.json, fx.local_json);
+  EXPECT_GE(got.totals.rank_restarts, 1u);
+  EXPECT_EQ(got.totals.degraded_ranks, 0u);
+}
+
+TEST(DistFaultMatrix, DelayUnderTheDeadlineIsSurvivableLatency) {
+  const fault_fixture fx;
+  session_options so = fast_recovery_options(2);
+  so.policy.round_deadline_ms = 60'000;
+  so.fault_plan = "delay:rank=1,trial=0,round=1,ms=20";
+  const run_outcome got = run_dist(fx.e, fx.rc, so);
+  EXPECT_EQ(got.json, fx.local_json);
+  EXPECT_EQ(got.totals.rank_restarts, 0u);  // latency, not a fault
+  EXPECT_EQ(got.totals.degraded_ranks, 0u);
+}
+
+TEST(DistFaultMatrix, DelayPastTheDeadlineTriggersRespawn) {
+  const fault_fixture fx;
+  session_options so = fast_recovery_options(2);
+  so.policy.round_deadline_ms = 100;
+  so.fault_plan = "delay:rank=1,trial=0,round=1,ms=2000";
+  const run_outcome got = run_dist(fx.e, fx.rc, so);
+  EXPECT_EQ(got.json, fx.local_json);
+  EXPECT_GE(got.totals.rank_restarts, 1u);
+}
+
+// --- degradation: reassignment stays byte-identical ------------------------
+
+TEST(DistDegrade, ExhaustedBudgetReassignsBlocksAndStaysIdentical) {
+  sim::adhoc_spec spec;
+  spec.topology = "layered:depth=6,width=9,edge_prob=0.3";
+  spec.protocols = "decay,gst-known";
+  const sim::experiment e = sim::make_adhoc_experiment(spec);
+  sim::run_config rc;
+  rc.trials = 2;  // trial 1 runs on the shrunken fleet end to end
+  rc.threads = 1;
+  rc.seed = 11;
+  const std::string local_json =
+      sim::to_json(e, sim::run_experiment(e, rc)).dump(2);
+
+  session_options so = fast_recovery_options(3);
+  so.policy.max_respawns = 0;  // first failure degrades immediately
+  so.fault_plan = "kill:rank=1,trial=0,round=0";
+  const run_outcome got = run_dist(e, rc, so);
+  EXPECT_EQ(got.json, local_json);
+  EXPECT_EQ(got.totals.rank_restarts, 0u);
+  EXPECT_EQ(got.totals.degraded_ranks, 1u);
+  // Rank 1 of 3 owned blocks [10, 21) of the 32.
+  EXPECT_EQ(got.totals.reassigned_blocks,
+            kBlocks * 2 / 3 - kBlocks * 1 / 3);
+  EXPECT_EQ(got.totals.trials, 2u);
+}
+
+TEST(DistSession, DeadFleetDegradesToLocalExecution) {
+  // fork+exec of a binary that does not exist: every child _exits(127)
+  // before speaking the protocol, and every respawn does the same. The
+  // supervisor must degrade the whole fleet and finish the run locally with
+  // byte-identical results — not hang, not throw.
+  sim::adhoc_spec spec;
+  spec.topology = "layered:depth=4,width=6,edge_prob=0.4";
+  spec.protocols = "decay";
+  const sim::experiment e = sim::make_adhoc_experiment(spec);
+  sim::run_config rc;
+  rc.trials = 1;
+  rc.threads = 1;
+  rc.seed = 42;
+  const std::string local_json =
+      sim::to_json(e, sim::run_experiment(e, rc)).dump(2);
+
+  session_options so = fast_recovery_options(2);
+  so.worker_exec = "/nonexistent/rn-dist-worker";
+  so.policy.max_respawns = 1;
+  const run_outcome got = run_dist(e, rc, so);
+  EXPECT_EQ(got.json, local_json);
+  EXPECT_EQ(got.totals.degraded_ranks, 2u);
+  EXPECT_EQ(got.totals.reassigned_blocks, kBlocks);
+  EXPECT_GE(got.totals.rank_restarts, 2u);
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ import sys
 # evidence, not timings, so they ride along untracked here.
 TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2",
                   "rn-bench-timing-v3", "rn-bench-timing-v4",
-                  "rn-bench-timing-v5")
+                  "rn-bench-timing-v5", "rn-bench-timing-v6")
 
 
 def load_metrics(path):

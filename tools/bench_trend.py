@@ -77,6 +77,12 @@ def load_point_metrics(paths):
             m, rss = bench_compare.load_metrics(path)
         except SystemExit:
             continue  # results JSON or unreadable — not a trend metric file
+        except (OSError, ValueError, KeyError, TypeError) as e:
+            # A truncated upload or corrupt row must cost one point of
+            # history, not the whole trend job.
+            print(f"bench_trend: skipping corrupt metrics file {path}: {e}",
+                  file=sys.stderr)
+            continue
         metrics.update(m)
         if rss is not None:
             metrics["suite/peak_rss_mib"] = rss / 1024.0

@@ -9,9 +9,24 @@
 // ordinary suite driver: declarative trials execute on the fleet, each rank
 // holding only its partitioned CSR slice. Results JSON is byte-identical to
 // bench_suite at any --ranks / --intra-trial-threads; the timing sidecar is
-// promoted to rn-bench-timing-v5 with per-rank peak RSS, transport byte
-// counts, and coordinator merge time. A crashed rank aborts the run with a
-// structured error naming the rank and its wait status.
+// rn-bench-timing-v6 with per-rank peak RSS, transport byte counts,
+// coordinator merge time, and the recovery counters.
+//
+// Supervision flags (dist/supervisor.h; values in milliseconds / attempts):
+//
+//   --round-deadline-ms N   recv deadline per round frame (default 60000;
+//                           0 = block forever, disables wedge detection)
+//   --setup-deadline-ms N   recv deadline for setup/teardown acks (300000)
+//   --max-respawns N        respawn attempts per rank per trial before the
+//                           rank degrades to block reassignment (2)
+//   --backoff-ms N          base of the exponential respawn backoff (100)
+//   --fault-plan PLAN       deterministic fault injection, e.g.
+//                           "kill:rank=1,trial=0,round=4;drop:rank=0,..."
+//                           (grammar in dist/fault.h)
+//
+// A crashed or wedged rank is respawned (bounded backoff) with its CSR slice
+// rebuilt and the trial replayed; past the budget its blocks are reassigned
+// to the survivors. Results stay byte-identical through every path.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -46,6 +61,20 @@ bool take_value_flag(std::vector<char*>& args, const std::string& flag,
   return false;
 }
 
+/// Extracts "--flag TEXT" from args (erasing it); returns fallback when
+/// absent.
+bool take_string_flag(std::vector<char*>& args, const std::string& flag,
+                      std::string& out) {
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (flag != args[i]) continue;
+    out = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return true;
+  }
+  return false;
+}
+
 /// Peeks (without erasing — run_suite consumes it too) at a numeric flag.
 unsigned peek_value_flag(const std::vector<char*>& args,
                          const std::string& flag, unsigned fallback) {
@@ -73,6 +102,11 @@ int main(int argc, char** argv) {
 
   rn::dist::session_options opt;
   opt.ranks = ranks;
+  take_value_flag(args, "--round-deadline-ms", opt.policy.round_deadline_ms);
+  take_value_flag(args, "--setup-deadline-ms", opt.policy.setup_deadline_ms);
+  take_value_flag(args, "--max-respawns", opt.policy.max_respawns);
+  take_value_flag(args, "--backoff-ms", opt.policy.backoff_base_ms);
+  take_string_flag(args, "--fault-plan", opt.fault_plan);
   // In distributed mode the intra-trial knob applies worker-side (the
   // coordinator's networks delegate their walks); run_suite still parses
   // the flag for the local fallback paths.
@@ -85,7 +119,7 @@ int main(int argc, char** argv) {
   rn::dist::session session(opt);
   session.install();
   rn::sim::set_timing_extension([&session](rn::sim::json_value& timing) {
-    timing["schema"] = "rn-bench-timing-v5";
+    timing["schema"] = "rn-bench-timing-v6";
     timing["ranks"] = static_cast<std::uint64_t>(session.ranks());
     const rn::dist::session_totals t = session.totals();
     rn::sim::json_value per_rank = rn::sim::json_value::array();
@@ -102,6 +136,12 @@ int main(int argc, char** argv) {
     timing["dist_bytes_received"] = t.bytes_received;
     timing["dist_merge_wall_ms"] = t.merge_wall_ms;
     timing["dist_trials"] = t.trials;
+    // v6: recovery observability — zero across the board on a healthy run.
+    timing["dist_rounds"] = t.rounds;
+    timing["dist_rank_restarts"] = t.rank_restarts;
+    timing["dist_reassigned_blocks"] = t.reassigned_blocks;
+    timing["dist_degraded_ranks"] = t.degraded_ranks;
+    timing["dist_recovery_wall_ms"] = t.recovery_wall_ms;
   });
 
   const int rc = rn::sim::run_suite(static_cast<int>(args.size()),

@@ -14,6 +14,15 @@
 // the Prometheus text exposition after every response and at exit, so a
 // node-exporter-style textfile collector can scrape a daemon that has no
 // HTTP port.
+//
+// SIGTERM / SIGINT drain gracefully: stop accepting new connections and
+// request lines, finish every in-flight and queued run, write the metrics
+// file one last time, and exit through the normal path — which snapshots
+// the result cache to --cache-file (write-then-rename), so a supervised
+// restart comes back warm.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -34,6 +43,33 @@
 #endif
 
 namespace {
+
+std::atomic<bool> g_stop{false};     ///< set by SIGTERM/SIGINT
+std::atomic<int> g_listener{-1};     ///< socket-mode listener, for the handler
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  // shutdown() is async-signal-safe: unblocks the accept() loop without
+  // waiting for the next connection.
+  const int fd = g_listener.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+#endif
+}
+
+void install_stop_handlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads return EINTR and drain
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+#else
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+#endif
+}
 
 struct serve_options {
   std::string socket_path;  ///< empty = stdio transport
@@ -81,7 +117,10 @@ class metrics_file {
 int serve_stdio(rn::svc::service& svc, metrics_file& mf) {
   std::mutex out_mu;
   std::string line;
-  while (std::getline(std::cin, line)) {
+  // A stop signal interrupts the blocked getline (no SA_RESTART → EINTR →
+  // failbit), so SIGTERM/SIGINT fall through to the drain below.
+  while (!g_stop.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
     if (line.empty()) continue;
     svc.submit(line, [&](const std::string& resp) {
       {
@@ -156,12 +195,19 @@ int serve_socket(rn::svc::service& svc, metrics_file& mf,
     return 1;
   }
 
+  g_listener.store(listener, std::memory_order_relaxed);
+
   std::mutex conns_mu;
   std::vector<std::thread> conns;
+  std::vector<int> conn_fds;  // owned here; closed after every thread joins
   for (;;) {
     const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by the shutdown path below
+    if (fd < 0) {
+      if (errno == EINTR && !g_stop.load(std::memory_order_relaxed)) continue;
+      break;  // listener shut down (in-band shutdown or stop signal)
+    }
     std::lock_guard<std::mutex> lock(conns_mu);
+    conn_fds.push_back(fd);
     conns.emplace_back([&svc, &mf, fd, listener] {
       auto write_mu = std::make_shared<std::mutex>();
       std::string buf;
@@ -179,16 +225,26 @@ int serve_socket(rn::svc::service& svc, metrics_file& mf,
         }
       }
       // Outstanding responses for this connection may still arrive from
-      // worker threads; wait for them before dropping the fd.
+      // worker threads; wait for them before retiring the connection.
       svc.drain();
-      ::close(fd);
+      ::shutdown(fd, SHUT_RDWR);
     });
     if (svc.shutdown_requested()) break;
   }
+  g_listener.store(-1, std::memory_order_relaxed);
   ::close(listener);
+  {
+    // A stop signal only interrupts the accept loop; connection threads may
+    // still be blocked in recv(). Shut their sockets down so every thread
+    // unwinds through its drain (fds stay valid until the joins below).
+    std::lock_guard<std::mutex> lock(conns_mu);
+    if (g_stop.load(std::memory_order_relaxed))
+      for (const int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
   {
     std::lock_guard<std::mutex> lock(conns_mu);
     for (auto& t : conns) t.join();
+    for (const int fd : conn_fds) ::close(fd);
   }
   svc.drain();
   mf.write(svc.metrics_text());
@@ -233,6 +289,7 @@ int main(int argc, char** argv) {
   }
   if (stdio == !opt.socket_path.empty()) return usage(argv[0]);
 
+  install_stop_handlers();
   rn::svc::service svc(opt.svc);
   metrics_file mf(opt.metrics_path);
   mf.write(svc.metrics_text());
