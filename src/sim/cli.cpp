@@ -275,7 +275,7 @@ int run_suite(int argc, char** argv) {
     if (!opt.timing_path.empty()) rss_resets = reset_peak_rss() && rss_resets;
     const engine_snapshot before = engine_counters();
     const shard_snapshot shards_before = shard_counters();
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();  // rn-lint: allow(R1) wall_ms measurement for the timing sidecar, never results JSON
     experiment_result result;
     try {
       result = run_experiment(*e, cfg);
@@ -285,7 +285,7 @@ int run_suite(int argc, char** argv) {
       std::cerr << ex.what() << "\n";
       return 2;
     }
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();  // rn-lint: allow(R1) wall_ms measurement for the timing sidecar, never results JSON
     const engine_snapshot after = engine_counters();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();

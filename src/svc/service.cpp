@@ -29,7 +29,7 @@ service::service(service_config cfg) : cfg_(cfg), cache_(cfg.cache_entries) {
   RN_REQUIRE(cfg_.max_trials >= 1, "service needs max_trials >= 1");
   if (!cfg_.cache_file.empty())
     cache_.load(cfg_.cache_file);  // cold start on miss/corruption by design
-  start_ = std::chrono::steady_clock::now();
+  start_ = std::chrono::steady_clock::now();  // rn-lint: allow(R1) service uptime anchor for Prometheus gauges, never results JSON
   register_metrics();
   pool_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i)
@@ -94,7 +94,7 @@ void service::register_metrics() {
                         const auto t = sim::engine_counters();
                         const double up =
                             std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - start_)
+                                std::chrono::steady_clock::now() - start_)  // rn-lint: allow(R1) uptime-rate gauge (Prometheus metrics only)
                                 .count();
                         const double rounds =
                             double(t.stepped_rounds) + double(t.skipped_rounds);
@@ -134,7 +134,7 @@ void service::register_metrics() {
   registry_.add_gauge("rn_uptime_seconds", "Seconds since service start.",
                       [this] {
                         return std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - start_)
+                                   std::chrono::steady_clock::now() - start_)  // rn-lint: allow(R1) rn_uptime_seconds gauge (Prometheus metrics only)
                             .count();
                       });
 }
@@ -279,7 +279,7 @@ void service::worker_loop() {
 }
 
 void service::execute(job& jb) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // rn-lint: allow(R1) request wall_ms for the response metadata + metrics, never payload
   std::string payload;
   const char* origin = "hit";
   if (auto cached = cache_.get(jb.key)) {
@@ -308,7 +308,7 @@ void service::execute(job& jb) {
     cache_.put(jb.key, payload);
   }
   const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
+                             std::chrono::steady_clock::now() - t0)  // rn-lint: allow(R1) request wall_ms for the response metadata + metrics, never payload
                              .count();
   sim::json_value r = ok_response(jb.req.id);
   r["cache"] = origin;

@@ -1,0 +1,18 @@
+// lint-fixture-place: src/common/rng.fixture.cpp
+// lint-fixture-expect: none
+//
+// Clean counterexample: the deterministic-RNG implementation files
+// (src/common/rng.*) are R1-allowlisted — the one place entropy plumbing is
+// allowed to live.
+#include <chrono>
+#include <random>
+
+namespace rn {
+
+unsigned long hardware_seed_escape_hatch() {
+  std::random_device rd;  // allowlisted file: not a finding
+  const auto t = std::chrono::steady_clock::now();  // allowlisted file
+  return rd() ^ (unsigned long)(t.time_since_epoch().count());
+}
+
+}  // namespace rn

@@ -1,0 +1,28 @@
+// lint-fixture-place: src/core/clean_suppressed.cpp
+// lint-fixture-expect: none
+//
+// Clean counterexample: properly-reasoned suppressions and ordered-container
+// iteration produce zero findings in a result-path TU.
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace rn {
+
+double ordered_sum(const std::map<std::string, double>& stats) {
+  double total = 0.0;
+  for (const auto& [key, value] : stats) {  // ordered: deterministic output
+    total += value;
+    (void)key;
+  }
+  return total;
+}
+
+double sidecar_wall_ms() {
+  // rn-lint: allow(R1) timing sidecar measurement, never results JSON
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t0.time_since_epoch())
+      .count();
+}
+
+}  // namespace rn

@@ -1,0 +1,19 @@
+// lint-fixture-place: src/dist/wire.cpp
+// lint-fixture-expect: none
+//
+// Clean counterexample: src/dist/wire.cpp is the R3 allowlist — the deadline
+// engine itself is the one dist TU allowed to touch raw fds.
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace rn::dist {
+
+int deadline_read(int fd, std::uint8_t* buf, int len, int budget_ms) {
+  pollfd p{fd, POLLIN, 0};
+  if (::poll(&p, 1, budget_ms) <= 0) return -1;  // allowlisted file
+  return int(::read(fd, buf, unsigned(len)));    // allowlisted file
+}
+
+}  // namespace rn::dist

@@ -1,0 +1,23 @@
+// lint-fixture-place: src/core/r1_entropy.cpp
+// lint-fixture-expect: R1 R1 R1
+//
+// R1 no-wallclock-entropy: wall clocks and OS entropy in a result-path TU.
+// Each of the three sites below must be reported; nothing else may fire.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace rn {
+
+int nondeterministic_seed() {
+  std::random_device rd;  // finding: OS entropy source
+  return int(rd());
+}
+
+long entropy_mix() {
+  long x = std::rand();  // finding: libc PRNG, process-global state
+  auto t = std::chrono::steady_clock::now();  // finding: wall-clock read
+  return x + t.time_since_epoch().count();
+}
+
+}  // namespace rn

@@ -1,0 +1,25 @@
+// lint-fixture-place: src/sim/r2_unordered_iter.cpp
+// lint-fixture-expect: R2 R2
+//
+// R2 no-unordered-iteration: iterating an unordered container in a TU that
+// feeds results JSON.  Keyed lookup (no iteration) is legal and must NOT be
+// reported.
+#include <string>
+#include <unordered_map>
+
+namespace rn {
+
+double sum_all(const std::unordered_map<std::string, double>& stats_in) {
+  std::unordered_map<std::string, double> stats = stats_in;
+  double total = 0.0;
+  for (const auto& [key, value] : stats) {  // finding: order feeds output
+    total += value;
+    (void)key;
+  }
+  for (auto it = stats.begin(); it != stats.end(); ++it) {  // finding
+    total += it->second;
+  }
+  return total + stats.count("ok");  // keyed lookup: not a finding
+}
+
+}  // namespace rn

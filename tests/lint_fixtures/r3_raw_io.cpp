@@ -1,0 +1,31 @@
+// lint-fixture-place: src/dist/r3_raw_io.cpp
+// lint-fixture-expect: R3 R3 R3
+//
+// R3 wire-only-dist-io: raw fd I/O inside src/dist/ outside the wire API.
+// Method calls on a channel object are the wire API itself and must NOT be
+// reported.
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace rn::dist {
+
+struct fake_channel {
+  void send(const std::vector<std::uint8_t>&) {}
+  int recv(std::vector<std::uint8_t>&) { return 0; }
+};
+
+int drain(int fd, fake_channel& ch) {
+  std::uint8_t buf[16];
+  pollfd p{fd, POLLIN, 0};
+  int rc = ::poll(&p, 1, -1);      // finding: unbounded block, no deadline
+  rc += int(read(fd, buf, 16));    // finding: bypasses channel framing
+  rc += int(::write(fd, buf, 1));  // finding: bypasses channel framing
+  std::vector<std::uint8_t> payload;
+  ch.send(payload);       // wire API: not a finding
+  return rc + ch.recv(payload);  // wire API: not a finding
+}
+
+}  // namespace rn::dist

@@ -1,0 +1,31 @@
+// lint-fixture-place: src/svc/r4_throw.cpp
+// lint-fixture-expect: R4 R4
+//
+// R4 contract-error-throws: exceptions in src/svc/ (and src/dist/) must
+// derive from contract_error.  Throwing contract_error/wire_error and bare
+// rethrow are legal and must NOT be reported.
+#include <stdexcept>
+#include <string>
+
+namespace rn {
+
+struct contract_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct wire_error : contract_error {
+  using contract_error::contract_error;
+};
+
+void reject(const std::string& what, int kind) {
+  if (kind == 0) throw std::runtime_error(what);  // finding
+  if (kind == 1) throw std::invalid_argument(what);  // finding
+  if (kind == 2) throw contract_error(what);  // legal
+  if (kind == 3) throw wire_error(what);  // legal
+  try {
+    throw contract_error(what);  // legal
+  } catch (...) {
+    throw;  // bare rethrow: legal
+  }
+}
+
+}  // namespace rn

@@ -1,0 +1,18 @@
+// lint-fixture-place: src/core/r5_reasonless.cpp
+// lint-fixture-expect: R5 R5
+//
+// R5 suppression-needs-reason: a reasonless suppression still suppresses its
+// target rule (so R1 must NOT fire here) but is itself a finding.  Same for
+// a clang-tidy NOLINT with no check list.
+#include <cstdlib>
+
+namespace rn {
+
+int lazy_suppression() {
+  int x = std::rand();  // rn-lint: allow(R1)
+  // NOLINTNEXTLINE
+  int y = x + 1;
+  return y;
+}
+
+}  // namespace rn

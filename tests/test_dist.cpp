@@ -339,7 +339,7 @@ TEST(WireFuzz, MidFrameEofIsStructuredClosed) {
 TEST(WireFuzz, RecvDeadlineExpiresInsteadOfHanging) {
   auto [a, b] = make_channel_pair();
   b.set_deadline_ms(100);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // rn-lint: allow(R1) measures that the recv deadline actually expired (test-only timing)
   std::vector<std::uint8_t> payload;
   try {
     (void)b.recv(payload);  // nothing will ever arrive
@@ -348,7 +348,7 @@ TEST(WireFuzz, RecvDeadlineExpiresInsteadOfHanging) {
     EXPECT_EQ(e.kind(), wire_errc::timeout);
   }
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      std::chrono::steady_clock::now() - t0)
+                      std::chrono::steady_clock::now() - t0)  // rn-lint: allow(R1) measures that the recv deadline actually expired (test-only timing)
                       .count();
   EXPECT_GE(ms, 90) << "deadline fired early";
   EXPECT_LT(ms, 5000) << "deadline overshot by far too much";

@@ -28,10 +28,15 @@ $GITHUB_STEP_SUMMARY when that is set — so the CI perf job surfaces the
 numbers on the run's summary page without artifact digging.
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import os
 import sys
+
+# (metric, baseline_ms, current_ms, verdict) — one comparison-table row.
+Row = tuple[str, float | None, float | None, str]
 
 
 # v3 made the per-experiment peak_rss_kb a per-run high-water mark (reset
@@ -44,16 +49,16 @@ TIMING_SCHEMAS = ("rn-bench-timing-v1", "rn-bench-timing-v2",
                   "rn-bench-timing-v5", "rn-bench-timing-v6")
 
 
-def load_metrics(path):
+def load_metrics(path: str) -> tuple[dict[str, float], int | None]:
     """Returns ({metric_name: milliseconds}, peak_rss_kb_or_None)."""
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}") from e
 
-    metrics = {}
-    peak_rss = None
+    metrics: dict[str, float] = {}
+    peak_rss: int | None = None
     if isinstance(data, dict) and data.get("schema") in TIMING_SCHEMAS:
         for row in data.get("experiments", []):
             metrics[f"suite/{row['id']}"] = float(row["wall_ms"])
@@ -77,9 +82,13 @@ def load_metrics(path):
     return metrics, peak_rss
 
 
-def write_markdown(path, title, rows, verdict_line):
+def _fmt_cell(value: float | None) -> str:
+    return f"{value:.2f}" if value is not None else "-"
+
+
+def write_markdown(path: str, title: str, rows: list[Row],
+                   verdict_line: str) -> None:
     """Appends a GitHub-flavored markdown comparison table to `path`."""
-    fmt = lambda v: f"{v:.2f}" if v is not None else "-"
     with open(path, "a") as f:
         f.write(f"### perf compare: {title}\n\n")
         f.write("| metric | base | cur | verdict |\n")
@@ -90,11 +99,11 @@ def write_markdown(path, title, rows, verdict_line):
                 cell = f"**{verdict}** :red_circle:"
             elif verdict.startswith("improved"):
                 cell = f"{verdict} :green_circle:"
-            f.write(f"| `{name}` | {fmt(b)} | {fmt(c)} | {cell} |\n")
+            f.write(f"| `{name}` | {_fmt_cell(b)} | {_fmt_cell(c)} | {cell} |\n")
         f.write(f"\n{verdict_line}\n\n")
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
@@ -118,8 +127,8 @@ def main():
     base, base_rss = load_metrics(args.baseline)
     cur, cur_rss = load_metrics(args.current)
 
-    regressions = []
-    rows = []
+    regressions: list[str] = []
+    rows: list[Row] = []
     for name in sorted(set(base) | set(cur)):
         b, c = base.get(name), cur.get(name)
         if b is None:
@@ -146,7 +155,9 @@ def main():
     # reported, never gated: RSS on shared CI runners is too noisy for a
     # hard threshold.
     if base_rss is not None or cur_rss is not None:
-        to_mib = lambda v: v / 1024.0 if v is not None else None
+        def to_mib(v: int | None) -> float | None:
+            return v / 1024.0 if v is not None else None
+
         rss_verdict = "reported only, not gated"
         if base_rss and cur_rss:
             rss_verdict += f" (x{cur_rss / base_rss:.2f})"
@@ -154,7 +165,10 @@ def main():
                      rss_verdict))
 
     width = max((len(r[0]) for r in rows), default=10)
-    fmt_ms = lambda v: f"{v:10.2f}" if v is not None else "         -"
+
+    def fmt_ms(v: float | None) -> str:
+        return f"{v:10.2f}" if v is not None else "         -"
+
     print(f"{'metric':<{width}}  {'base':>10}  {'cur':>10}  verdict")
     for name, b, c, verdict in rows:
         print(f"{name:<{width}}  {fmt_ms(b)}  {fmt_ms(c)}  {verdict}")

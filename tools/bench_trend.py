@@ -35,6 +35,8 @@ input. An empty history is the seeding case: the table is still written so
 this run becomes the trajectory's first point, and the gate passes.
 """
 
+from __future__ import annotations
+
 import argparse
 import io
 import json
@@ -48,6 +50,11 @@ import zipfile
 
 import bench_compare
 
+# One run's metrics: {metric name: value}.
+Metrics = dict[str, float]
+# (metric, [(short sha, value)] window tail, median, current, verdict).
+TrendRow = tuple[str, list[tuple[str, float]], float | None, float | None, str]
+
 SHA_RE = re.compile(r"^BENCH_([0-9a-f]{7,40})(?:_(timing|micro))?\.json$")
 
 # Trended on the table but never gated: RSS on shared CI runners is too
@@ -55,11 +62,11 @@ SHA_RE = re.compile(r"^BENCH_([0-9a-f]{7,40})(?:_(timing|micro))?\.json$")
 REPORT_ONLY = {"suite/peak_rss_mib"}
 
 
-def short(sha):
+def short(sha: str) -> str:
     return sha[:9] if re.fullmatch(r"[0-9a-f]{7,40}", sha) else sha
 
 
-def classify(path):
+def classify(path: str) -> tuple[str | None, str | None]:
     """Returns (sha, kind) for a BENCH_<sha>[_timing|_micro].json basename,
     or (None, None) for files that are not part of the trajectory."""
     m = SHA_RE.match(os.path.basename(path))
@@ -68,10 +75,10 @@ def classify(path):
     return m.group(1), m.group(2) or "results"
 
 
-def load_point_metrics(paths):
+def load_point_metrics(paths: list[str]) -> Metrics:
     """Merged {metric: value} over one run's timing/micro files (results
     JSONs carry no timings and are skipped)."""
-    metrics = {}
+    metrics: Metrics = {}
     for path in paths:
         try:
             m, rss = bench_compare.load_metrics(path)
@@ -89,9 +96,9 @@ def load_point_metrics(paths):
     return metrics
 
 
-def history_from_dir(dirpath):
+def history_from_dir(dirpath: str) -> list[tuple[str, Metrics]]:
     """[(sha, {metric: value})] ordered oldest -> newest by file mtime."""
-    runs = {}  # sha -> (latest mtime, [paths])
+    runs: dict[str, tuple[float, list[str]]] = {}  # sha -> (mtime, paths)
     for name in os.listdir(dirpath):
         path = os.path.join(dirpath, name)
         sha, kind = classify(path)
@@ -103,7 +110,7 @@ def history_from_dir(dirpath):
     return [(sha, load_point_metrics(paths)) for sha, (_t, paths) in ordered]
 
 
-def github_api(url, token, raw=False):
+def github_api(url: str, token: str, raw: bool = False) -> object:
     req = urllib.request.Request(url)
     req.add_header("Authorization", f"Bearer {token}")
     req.add_header("X-GitHub-Api-Version", "2022-11-28")
@@ -114,7 +121,8 @@ def github_api(url, token, raw=False):
     return body if raw else json.loads(body)
 
 
-def history_from_artifacts(artifact_name, max_artifacts):
+def history_from_artifacts(artifact_name: str,
+                           max_artifacts: int) -> list[tuple[str, Metrics]]:
     """Downloads the newest `max_artifacts` non-expired artifacts with the
     given name and returns [(sha, metrics)] oldest -> newest."""
     repo = os.environ.get("GITHUB_REPOSITORY")
@@ -126,14 +134,16 @@ def history_from_artifacts(artifact_name, max_artifacts):
     listing = github_api(
         f"{base}/repos/{repo}/actions/artifacts"
         f"?name={artifact_name}&per_page=100", token)
+    assert isinstance(listing, dict)
     artifacts = [a for a in listing.get("artifacts", [])
                  if not a.get("expired", False)]
     artifacts.sort(key=lambda a: a.get("created_at", ""))  # oldest first
     artifacts = artifacts[-max_artifacts:]
-    history = []
+    history: list[tuple[str, Metrics]] = []
     for art in artifacts:
         try:
             blob = github_api(art["archive_download_url"], token, raw=True)
+            assert isinstance(blob, bytes)
         except OSError as e:
             print(f"bench_trend: skipping artifact {art.get('id')}: {e}",
                   file=sys.stderr)
@@ -150,12 +160,14 @@ def history_from_artifacts(artifact_name, max_artifacts):
     return history
 
 
-def build_table(history, current_sha, current, window, threshold, min_ms,
-                min_micro_ms):
+def build_table(history: list[tuple[str, Metrics]], current: Metrics,
+                window: int, threshold: float, min_ms: float,
+                min_micro_ms: float) -> tuple[list[TrendRow], list[str]]:
     """Returns (rows, regressions). Each row:
     (metric, [historical values in window order], median, current, verdict)."""
     names = sorted(set(current) | {n for _sha, m in history for n in m})
-    rows, regressions = [], []
+    rows: list[TrendRow] = []
+    regressions: list[str] = []
     for name in names:
         series = [(short(sha), m[name]) for sha, m in history if name in m]
         tail = series[-window:]
@@ -187,9 +199,12 @@ def build_table(history, current_sha, current, window, threshold, min_ms,
     return rows, regressions
 
 
-def write_markdown(path, rows, current_sha, window, verdict_line):
-    fmt = lambda v: f"{v:.2f}" if v is not None else "-"
-    shas = []
+def write_markdown(path: str, rows: list[TrendRow], current_sha: str,
+                   window: int, verdict_line: str) -> None:
+    def fmt(v: float | None) -> str:
+        return f"{v:.2f}" if v is not None else "-"
+
+    shas: list[str] = []
     for _name, tail, _med, _cur, _verdict in rows:
         for sha, _v in tail:
             if sha not in shas:
@@ -214,7 +229,7 @@ def write_markdown(path, rows, current_sha, window, verdict_line):
         f.write(f"\n{verdict_line}\n\n")
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     src = ap.add_mutually_exclusive_group(required=True)
     src.add_argument("--dir", help="local directory of BENCH_<sha>*.json")
@@ -253,12 +268,15 @@ def main():
     history = [(sha, m) for sha, m in history
                if short(sha) != short(args.current_sha)]
 
-    rows, regressions = build_table(history, args.current_sha, current,
-                                    args.window, args.threshold, args.min_ms,
+    rows, regressions = build_table(history, current, args.window,
+                                    args.threshold, args.min_ms,
                                     args.min_micro_ms)
 
     width = max((len(r[0]) for r in rows), default=10)
-    fmt = lambda v: f"{v:10.2f}" if v is not None else "         -"
+
+    def fmt(v: float | None) -> str:
+        return f"{v:10.2f}" if v is not None else "         -"
+
     print(f"{'metric':<{width}}  {'median':>10}  {'current':>10}  "
           f"verdict  (window {args.window}, {len(history)} run(s) of history)")
     for name, _tail, med, cur, verdict in rows:
