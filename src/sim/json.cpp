@@ -152,6 +152,26 @@ class json_reader {
   }
 
  private:
+  // The reader recurses once per container level, so without a bound a
+  // hostile document ("[[[[[...") overflows the stack and kills the whole
+  // process — in rn_serve that turns one malformed request line into a
+  // daemon crash instead of the structured bad-JSON error reply. Real
+  // payloads (requests, results JSON, timing sidecars) nest 4-5 levels;
+  // 256 is far above anything legitimate.
+  static constexpr int kMaxDepth = 256;
+
+  struct depth_guard {
+    explicit depth_guard(json_reader& r) : r_(r) {
+      if (++r_.depth_ > kMaxDepth)
+        r_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                " levels");
+    }
+    ~depth_guard() { --r_.depth_; }
+    depth_guard(const depth_guard&) = delete;
+    depth_guard& operator=(const depth_guard&) = delete;
+    json_reader& r_;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw contract_error("bad JSON at offset " + std::to_string(pos_) + ": " +
                          what);
@@ -203,6 +223,7 @@ class json_reader {
 
   json_value read_object() {
     expect('{');
+    const depth_guard guard(*this);
     json_value obj = json_value::object();
     if (peek() == '}') {
       ++pos_;
@@ -221,6 +242,7 @@ class json_reader {
 
   json_value read_array() {
     expect('[');
+    const depth_guard guard(*this);
     json_value arr = json_value::array();
     if (peek() == ']') {
       ++pos_;
@@ -312,6 +334,7 @@ class json_reader {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

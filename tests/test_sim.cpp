@@ -481,6 +481,24 @@ TEST(Json, ObjectsPreserveInsertionOrder) {
   EXPECT_EQ(arr.dump(), "[1,\"two\"]");
 }
 
+TEST(Json, DeepNestingRaisesInsteadOfOverflowingTheStack) {
+  // Regression: the reader recurses per container level, so before the
+  // depth guard a "[[[[..." document blew the stack and killed the
+  // process — in rn_serve, a remote crash from one malformed request
+  // line. Depths within the bound still parse; past it, contract_error.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_EQ(parse_json(deep).size(), 1u);
+
+  std::string evil(100000, '[');
+  EXPECT_THROW(static_cast<void>(parse_json(evil)), contract_error);
+
+  std::string evil_obj;
+  for (int i = 0; i < 100000; ++i) evil_obj += "{\"k\":";
+  EXPECT_THROW(static_cast<void>(parse_json(evil_obj)), contract_error);
+}
+
 TEST(Cli, ParsesAllFlags) {
   const char* argv[] = {"bench_suite", "--experiment", "e1", "--trials", "64",
                         "--threads",   "8",            "--seed", "5",
